@@ -1,0 +1,31 @@
+"""Shared settings for the benchmark harness.
+
+Every benchmark regenerates one of the paper's evaluation artefacts (a figure
+panel) at reduced scale — shorter runs and, for the sweeps, a subset of the
+x-axis points — so the whole harness completes in minutes on a laptop.  The
+printed tables show the same rows/series the paper plots; EXPERIMENTS.md
+records a full-scale run next to the paper's numbers.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.experiments import PAPER_DEFAULTS
+
+#: Shortened experiment configuration used by every benchmark.
+BENCH_DURATION_S = 60.0
+BENCH_ATTACK_START_S = 30.0
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return PAPER_DEFAULTS.with_duration(BENCH_DURATION_S)

@@ -1,0 +1,8 @@
+"""Ensure the in-repo sources are importable when the package is not installed."""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

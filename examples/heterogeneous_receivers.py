@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Heterogeneous receivers of one protected session.
+
+The scenario the paper's introduction motivates: a single layered multicast
+session serving receivers with very different capabilities.  Three receivers
+hang off the same FLID-DS session behind access links of 150 Kbps, 400 Kbps
+and 2 Mbps; each converges to the subscription level its own path supports,
+while SIGMA at the edge router makes sure none of them can claim more.
+
+Run with::
+
+    python examples/heterogeneous_receivers.py
+"""
+
+from repro.analysis import format_table
+from repro.core.sigma import SigmaRouterAgent
+from repro.core.timeslot import SlotClock
+from repro.multicast_cc import FlidDsReceiver, FlidDsSender, SessionSpec
+from repro.simulator import Network
+
+ACCESS_RATES_BPS = {"slow": 150_000.0, "medium": 400_000.0, "fast": 2_000_000.0}
+DURATION_S = 60.0
+
+
+def main() -> None:
+    network = Network()
+    sender_host = network.add_host("source")
+    core = network.add_router("core")
+    edge = network.add_router("edge")
+    network.attach_host(sender_host, core, 10_000_000.0, 0.005)
+    network.duplex_link(core, edge, 10_000_000.0, 0.020)
+
+    # SIGMA guards the edge router that all three receivers share.
+    slot_clock = SlotClock(network.sim, 0.25)
+    sigma = SigmaRouterAgent(edge, network.multicast, slot_clock)
+    slot_clock.start()
+
+    receivers = {}
+    spec = SessionSpec(session_id="hetero", slot_duration_s=0.25).with_addresses(
+        network.allocate_groups(10)
+    )
+    for name, rate in ACCESS_RATES_BPS.items():
+        host = network.add_host(name)
+        # The receiver's own access link is its private bottleneck.
+        network.attach_host(host, edge, rate, 0.010)
+        receivers[name] = FlidDsReceiver(network, host, spec, name=name)
+    network.build_routes()
+
+    sender = FlidDsSender(network, sender_host, spec)
+    sender.start()
+    for receiver in receivers.values():
+        receiver.start()
+
+    network.run(until=DURATION_S)
+
+    rows = []
+    for name, receiver in receivers.items():
+        fair_level = spec.fair_level(ACCESS_RATES_BPS[name])
+        rows.append(
+            (
+                name,
+                f"{ACCESS_RATES_BPS[name] / 1e3:.0f}",
+                receiver.level,
+                fair_level,
+                f"{receiver.average_rate_kbps(10, DURATION_S):.0f}",
+            )
+        )
+    print("One FLID-DS session, three receivers with heterogeneous access links\n")
+    print(
+        format_table(
+            ["receiver", "access (Kbps)", "final level", "fair level", "goodput (Kbps)"],
+            rows,
+        )
+    )
+    print(
+        f"\nSIGMA at the shared edge router: {sigma.valid_submissions} valid key submissions, "
+        f"{sigma.invalid_submissions} invalid, {sigma.revocations} revocations."
+    )
+    print("Each receiver settles near the level its own bottleneck supports; the fast")
+    print("receiver is not limited by the slow ones, and none can exceed its entitlement.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Analysis helpers: fairness, convergence and report formatting."""
+
+from .fairness import bandwidth_shares, jain_index, max_min_ratio
+from .convergence import convergence_time, levels_converged
+from .reporting import format_series_table, format_table
+
+__all__ = [
+    "bandwidth_shares",
+    "jain_index",
+    "max_min_ratio",
+    "convergence_time",
+    "levels_converged",
+    "format_series_table",
+    "format_table",
+]

@@ -1,0 +1,48 @@
+"""Plain-text report formatting.
+
+The benchmark harness prints, for every figure, the same rows or series the
+paper reports; these helpers keep that output aligned and readable without
+pulling in any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table."""
+    materialised: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    label: str, series: Sequence[tuple[float, float]], x_name: str = "time (s)", y_name: str = "value"
+) -> str:
+    """Render an (x, y) series with a caption line."""
+    body = format_table(
+        [x_name, y_name],
+        [(f"{x:.2f}", f"{y:.1f}") for x, y in series],
+    )
+    return f"{label}\n{body}"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)

@@ -1,0 +1,100 @@
+"""ECN adaptation of DELTA (§3.1.2, "Congestion notification").
+
+For networks where routers mark packets instead of (or in addition to)
+dropping them, the paper extends DELTA with a one-line rule: *edge routers
+alter the content of the component field in each marked packet*.  A receiver
+whose path is congested therefore cannot reconstruct the top key of its
+current level even though it received every packet — the mark plays the role
+of the loss — while the decrease fields are left untouched so the receiver
+can still step down gracefully.
+
+Two pieces implement this:
+
+``EcnComponentScrambler``
+    Installed as an edge router's ``local_delivery_hook``; replaces the
+    component field of marked packets with a random value before the packet
+    reaches the local interface.
+
+``ecn_observation``
+    Receiver-side helper that folds ECN marks into the congestion definition
+    when building a :class:`~repro.core.delta.base.ReceiverSlotObservation`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from ...simulator.link import Link
+from ...simulator.packet import Packet
+from .base import ReceiverSlotObservation
+
+__all__ = ["EcnComponentScrambler", "ecn_observation"]
+
+#: Header key under which DELTA component fields travel (shared with FLID-DS).
+COMPONENT_HEADER = "delta_component"
+DECREASE_HEADER = "delta_decrease"
+
+
+class EcnComponentScrambler:
+    """Edge-router hook that scrambles the component field of marked packets."""
+
+    def __init__(self, key_bits: int = 16, rng: Optional[random.Random] = None) -> None:
+        if key_bits <= 0:
+            raise ValueError("key_bits must be positive")
+        self.key_bits = key_bits
+        self._rng = rng or random.Random()
+        self.scrambled_packets = 0
+
+    def __call__(self, packet: Packet, link: Link) -> None:
+        """Mutate ``packet`` in place if it carries an ECN mark and a component."""
+        if not packet.ecn:
+            return
+        if COMPONENT_HEADER not in packet.headers:
+            return
+        original = packet.headers[COMPONENT_HEADER]
+        replacement = self._rng.getrandbits(self.key_bits)
+        # Guarantee the value actually changes so the key reconstruction is
+        # deterministically broken rather than probabilistically broken.
+        if replacement == original:
+            replacement ^= 1
+        packet.headers[COMPONENT_HEADER] = replacement
+        packet.headers["delta_component_scrambled"] = True
+        self.scrambled_packets += 1
+
+
+def ecn_observation(
+    subscription_level: int,
+    packets_by_group: Dict[int, Iterable[Packet]],
+    upgrade_authorized: Iterable[int] = (),
+    lost_groups: Iterable[int] = (),
+) -> ReceiverSlotObservation:
+    """Build a slot observation that treats ECN marks as congestion.
+
+    ``packets_by_group[g]`` are the packets received from group ``g`` during
+    the distribution slot.  A group counts as congested when any of its
+    packets carries an ECN mark *or* appears in ``lost_groups`` (losses can
+    still happen alongside marking).
+    """
+    components: Dict[int, List[int]] = {}
+    decreases: Dict[int, List[int]] = {}
+    marked: set[int] = set(lost_groups)
+    for group, packets in packets_by_group.items():
+        comps: List[int] = []
+        decs: List[int] = []
+        for packet in packets:
+            if packet.ecn:
+                marked.add(group)
+            if COMPONENT_HEADER in packet.headers:
+                comps.append(packet.headers[COMPONENT_HEADER])
+            if DECREASE_HEADER in packet.headers and packet.headers[DECREASE_HEADER] is not None:
+                decs.append(packet.headers[DECREASE_HEADER])
+        components[group] = comps
+        decreases[group] = decs
+    return ReceiverSlotObservation(
+        subscription_level=subscription_level,
+        components=components,
+        decrease_fields=decreases,
+        lost_groups=frozenset(marked),
+        upgrade_authorized=frozenset(upgrade_authorized),
+    )

@@ -1,0 +1,164 @@
+"""DELTA instantiation for replicated multicast (Figure 5).
+
+In replicated multicast (Destination Set Grouping style protocols) each group
+of a session carries the *same content at a different rate*: group 1 is the
+slowest, group N the fastest, and a legitimate subscription is exactly one
+group.  The subscription rules mirror the layered case — stay when
+uncongested, switch down one group when congested, switch up one group when
+authorised — but because levels do not share groups the keys are per-group
+rather than cumulative (Equation 6):
+
+* top key       ``τ_g = ⊕_{p∈S_g} c_{g,p}``
+* decrease key  ``δ_{g-1} = d_g`` (nonce in the decrease field of group g)
+* increase key  ``ι_g = ⊕_{p∈S_{g-1}} c_{g-1,p} = τ_{g-1}``
+
+The sender-side component generation is identical to the layered case
+(random components, closing component on the last packet of the slot); only
+the key definitions differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ...crypto.nonce import NonceGenerator
+from ...crypto.xorkeys import KeyAccumulator, xor_fold
+from .base import (
+    DeltaPacketFields,
+    DeltaReceiver,
+    DeltaSender,
+    GroupKeys,
+    ReceiverSlotObservation,
+    ReconstructionResult,
+    SlotKeyMaterial,
+)
+
+__all__ = ["ReplicatedDeltaSender", "ReplicatedDeltaReceiver"]
+
+
+@dataclass
+class _GroupSlotState:
+    accumulator: KeyAccumulator
+    decrease_field: Optional[int]
+    packets_emitted: int = 0
+    closed: bool = False
+
+
+class ReplicatedDeltaSender(DeltaSender):
+    """Sender-side algorithm of Figure 5."""
+
+    def __init__(self, group_count: int, nonces: NonceGenerator) -> None:
+        if group_count < 1:
+            raise ValueError("a session needs at least one group")
+        self.group_count = group_count
+        self.nonces = nonces
+        self._slot_state: Dict[int, _GroupSlotState] = {}
+        self._current_material: Optional[SlotKeyMaterial] = None
+
+    @property
+    def current_material(self) -> Optional[SlotKeyMaterial]:
+        return self._current_material
+
+    def begin_slot(
+        self, distribution_slot: int, upgrade_authorized: Sequence[int]
+    ) -> SlotKeyMaterial:
+        """Precompute per-group keys: τ_g = C_g, δ_{g-1}, ι_g = C_{g-1}."""
+        authorized = frozenset(
+            g for g in upgrade_authorized if 2 <= g <= self.group_count
+        )
+        constants = {g: self.nonces.next() for g in range(1, self.group_count + 1)}
+        decrease: Dict[int, int] = {}
+        fields_d: Dict[int, int] = {}
+        for g in range(2, self.group_count + 1):
+            delta = self.nonces.next()
+            decrease[g - 1] = delta
+            fields_d[g] = delta
+
+        keys: Dict[int, GroupKeys] = {}
+        for g in range(1, self.group_count + 1):
+            increase = constants[g - 1] if (g in authorized and g >= 2) else None
+            keys[g] = GroupKeys(top=constants[g], decrease=decrease.get(g), increase=increase)
+
+        self._slot_state = {
+            g: _GroupSlotState(
+                accumulator=KeyAccumulator(constants[g], self.nonces.bits),
+                decrease_field=fields_d.get(g),
+            )
+            for g in range(1, self.group_count + 1)
+        }
+        self._current_material = SlotKeyMaterial(
+            governed_slot=distribution_slot + 2,
+            keys=keys,
+            upgrade_authorized=authorized,
+        )
+        return self._current_material
+
+    def fields_for_packet(self, group: int, is_last_in_slot: bool) -> DeltaPacketFields:
+        if self._current_material is None:
+            raise RuntimeError("begin_slot must be called before emitting packets")
+        state = self._slot_state.get(group)
+        if state is None:
+            raise ValueError(f"group {group} outside 1..{self.group_count}")
+        if state.closed:
+            return DeltaPacketFields(
+                group=group,
+                component=self.nonces.next(),
+                decrease=state.decrease_field,
+                closing=False,
+            )
+        if is_last_in_slot:
+            component = state.accumulator.closing_component()
+            state.closed = True
+        else:
+            component = state.accumulator.emit_component(self.nonces.next())
+        state.packets_emitted += 1
+        return DeltaPacketFields(
+            group=group,
+            component=component,
+            decrease=state.decrease_field,
+            closing=is_last_in_slot,
+        )
+
+
+class ReplicatedDeltaReceiver(DeltaReceiver):
+    """Receiver-side algorithm of Figure 5.
+
+    ``observation.subscription_level`` is interpreted as the index of the
+    single subscribed group; ``components``/``decrease_fields`` should only
+    contain entries for that group.
+    """
+
+    def __init__(self, group_count: int) -> None:
+        if group_count < 1:
+            raise ValueError("a session needs at least one group")
+        self.group_count = group_count
+
+    def reconstruct(self, observation: ReceiverSlotObservation) -> ReconstructionResult:
+        g = observation.subscription_level
+        if g <= 0:
+            return ReconstructionResult(next_level=0, keys={})
+        g = min(g, self.group_count)
+
+        if observation.congested:
+            if g == 1:
+                return ReconstructionResult(next_level=0, keys={})
+            fields = observation.decrease_fields.get(g, [])
+            if not fields:
+                # Every packet of the current group was lost: no key can be
+                # recovered in-band; the receiver must rejoin via session-join.
+                return ReconstructionResult(next_level=0, keys={})
+            return ReconstructionResult(next_level=g - 1, keys={g - 1: fields[0]})
+
+        # Uncongested: recover the current group's top key from its components.
+        top = xor_fold(observation.components.get(g, []))
+        upgrade_target = g + 1
+        if (
+            upgrade_target in observation.upgrade_authorized
+            and upgrade_target <= self.group_count
+        ):
+            # ι_{g+1} equals the XOR of group g's components, i.e. the same value.
+            return ReconstructionResult(
+                next_level=upgrade_target, keys={upgrade_target: top}
+            )
+        return ReconstructionResult(next_level=g, keys={g: top})

@@ -1,0 +1,35 @@
+"""SIGMA — Secure Internet Group Management Architecture.
+
+Generic, protocol-independent key-based group access control at edge routers:
+key announcements from the sender, a per-slot key table, receiver-facing
+session-join / subscription / unsubscription messages, grace windows for new
+receivers and newly joined groups, and slot-boundary enforcement.
+"""
+
+from .distributor import SigmaKeyDistributor
+from .host_interface import SigmaHostInterface
+from .key_table import RouterKeyTable
+from .messages import (
+    ANNOUNCEMENT_HEADER,
+    KeyAnnouncement,
+    KeyAnnouncementEntry,
+    SessionJoinMessage,
+    SubscriptionMessage,
+    UnsubscriptionMessage,
+)
+from .router_agent import AccessRecord, SigmaConfig, SigmaRouterAgent
+
+__all__ = [
+    "SigmaKeyDistributor",
+    "SigmaHostInterface",
+    "RouterKeyTable",
+    "ANNOUNCEMENT_HEADER",
+    "KeyAnnouncement",
+    "KeyAnnouncementEntry",
+    "SessionJoinMessage",
+    "SubscriptionMessage",
+    "UnsubscriptionMessage",
+    "AccessRecord",
+    "SigmaConfig",
+    "SigmaRouterAgent",
+]

@@ -1,0 +1,91 @@
+"""Receiver-side SIGMA interface.
+
+Hosts interact with a SIGMA edge router through the same local control path
+they would use for IGMP, but with the richer message set of Figure 6.  This
+class wraps that message exchange: well-behaved receivers (FLID-DS) call
+:meth:`session_join` once and :meth:`subscribe` every slot with the keys
+DELTA let them reconstruct; misbehaving receivers use the same interface to
+mount their attacks (subscribing without keys, guessing keys), which keeps
+the attack surface identical to the paper's threat model — the edge router is
+the only point of access (§2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from ...simulator.address import GroupAddress
+from ...simulator.node import Host
+from .messages import SessionJoinMessage, SubscriptionMessage, UnsubscriptionMessage
+
+__all__ = ["SigmaHostInterface"]
+
+
+class SigmaHostInterface:
+    """Host-side stub that sends SIGMA messages to the local edge router."""
+
+    def __init__(self, host: Host, session_id: str, key_bits: int = 16) -> None:
+        if host.edge_router is None or host.control is None:
+            raise RuntimeError(
+                f"host {host.name} is not attached to an edge router; "
+                "attach it before creating a SIGMA interface"
+            )
+        self.host = host
+        self.session_id = session_id
+        self.key_bits = key_bits
+        self.subscription_messages_sent = 0
+        self.session_joins_sent = 0
+        self.unsubscriptions_sent = 0
+
+    # ------------------------------------------------------------------
+    def _manager(self):
+        manager = self.host.edge_router.group_manager
+        if manager is None:
+            raise RuntimeError(
+                f"edge router {self.host.edge_router.name} has no group manager"
+            )
+        return manager
+
+    # ------------------------------------------------------------------
+    def session_join(self, minimal_group: GroupAddress) -> None:
+        """Request key-less admission to the session's minimal group."""
+        manager = self._manager()
+        message = SessionJoinMessage(session_id=self.session_id, minimal_group=minimal_group)
+        self.session_joins_sent += 1
+        self.host.control.send(
+            manager.handle_session_join,
+            self.host,
+            message,
+            size_bytes=message.size_bytes(),
+        )
+
+    def subscribe(self, slot: int, pairs: Sequence[Tuple[GroupAddress, int]]) -> None:
+        """Submit (group, key) pairs for ``slot``; empty submissions are skipped."""
+        if not pairs:
+            return
+        manager = self._manager()
+        message = SubscriptionMessage(
+            session_id=self.session_id, slot=slot, pairs=tuple(pairs)
+        )
+        self.subscription_messages_sent += 1
+        self.host.control.send(
+            manager.handle_subscription,
+            self.host,
+            message,
+            size_bytes=message.size_bytes(self.key_bits),
+        )
+
+    def unsubscribe(self, groups: Iterable[GroupAddress]) -> None:
+        """Explicitly abandon the listed groups."""
+        group_tuple = tuple(groups)
+        if not group_tuple:
+            return
+        manager = self._manager()
+        message = UnsubscriptionMessage(session_id=self.session_id, groups=group_tuple)
+        self.unsubscriptions_sent += 1
+        self.host.control.send(
+            manager.handle_unsubscription,
+            self.host,
+            message,
+            size_bytes=message.size_bytes(),
+        )

@@ -1,0 +1,140 @@
+"""Shamir (k, n) threshold secret sharing.
+
+Section 3.1.2 of the paper extends DELTA to *threshold-based* protocols
+(RLM, MLDA, WEBRC), where a receiver is considered congested only when its
+loss rate exceeds a threshold.  For such protocols the key of subscription
+level ``g`` is split with Shamir's scheme across the ``n`` packets of the
+level: any receiver that collects at least ``k`` packets can interpolate the
+degree-``k-1`` polynomial and recover the key ``q(0)``, whereas a receiver
+that lost more than ``n - k`` packets (loss rate above the protocol's
+threshold) learns nothing.
+
+The arithmetic is over a prime field large enough to hold the key; share
+``p`` carries the point ``(p, q(p))`` exactly as Equation 8 specifies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["Share", "ShamirSecretSharing", "DEFAULT_PRIME"]
+
+#: A Mersenne prime comfortably larger than any 16/32/61-bit key.
+DEFAULT_PRIME = (1 << 61) - 1
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share: the evaluation point ``x`` and value ``q(x)``."""
+
+    x: int
+    y: int
+
+
+def _mod_inverse(value: int, prime: int) -> int:
+    """Multiplicative inverse modulo a prime (Fermat's little theorem)."""
+    return pow(value, prime - 2, prime)
+
+
+class ShamirSecretSharing:
+    """Split and reconstruct secrets with a (k, n) threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum number of shares (``k``) needed to reconstruct the secret.
+    prime:
+        Field modulus; must exceed both the secret and the number of shares.
+    rng:
+        Randomness source for the polynomial coefficients; seeded in
+        experiments for reproducibility.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        prime: int = DEFAULT_PRIME,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be at least 1 (got {threshold})")
+        if prime <= threshold:
+            raise ValueError("prime must exceed the threshold")
+        self.threshold = threshold
+        self.prime = prime
+        self._rng = rng or random.Random()
+
+    # ------------------------------------------------------------------
+    def split(self, secret: int, shares: int) -> List[Share]:
+        """Split ``secret`` into ``shares`` shares, any ``threshold`` of which suffice."""
+        if not (0 <= secret < self.prime):
+            raise ValueError(
+                f"secret must lie in [0, prime); got {secret} for prime {self.prime}"
+            )
+        if shares < self.threshold:
+            raise ValueError(
+                f"cannot create {shares} shares with threshold {self.threshold}"
+            )
+        if shares >= self.prime:
+            raise ValueError("number of shares must be smaller than the prime")
+        # q(x) = secret + a1 x + ... + a_{k-1} x^{k-1}   (Equation 7)
+        coefficients = [secret] + [
+            self._rng.randrange(self.prime) for _ in range(self.threshold - 1)
+        ]
+        return [Share(x, self._evaluate(coefficients, x)) for x in range(1, shares + 1)]
+
+    def _evaluate(self, coefficients: Sequence[int], x: int) -> int:
+        """Evaluate the polynomial at ``x`` using Horner's rule."""
+        value = 0
+        for coefficient in reversed(coefficients):
+            value = (value * x + coefficient) % self.prime
+        return value
+
+    # ------------------------------------------------------------------
+    def reconstruct(self, shares: Iterable[Share]) -> int:
+        """Recover the secret ``q(0)`` from at least ``threshold`` shares.
+
+        Raises ``ValueError`` when too few distinct shares are supplied.
+        Supplying *more* than ``threshold`` shares is allowed; only the first
+        ``threshold`` distinct points are used.
+        """
+        unique: dict[int, int] = {}
+        for share in shares:
+            unique.setdefault(share.x, share.y)
+        points = list(unique.items())[: self.threshold]
+        if len(points) < self.threshold:
+            raise ValueError(
+                f"need at least {self.threshold} distinct shares, got {len(points)}"
+            )
+        # Lagrange interpolation at x = 0 (Equation 9).
+        secret = 0
+        for i, (xi, yi) in enumerate(points):
+            numerator = 1
+            denominator = 1
+            for j, (xj, _) in enumerate(points):
+                if i == j:
+                    continue
+                numerator = (numerator * (-xj)) % self.prime
+                denominator = (denominator * (xi - xj)) % self.prime
+            term = yi * numerator * _mod_inverse(denominator, self.prime)
+            secret = (secret + term) % self.prime
+        return secret
+
+    # ------------------------------------------------------------------
+    def minimum_packets_for_loss_threshold(self, packets: int, loss_threshold: float) -> int:
+        """Helper mapping a protocol loss threshold to the Shamir ``k``.
+
+        A receiver whose loss rate stays *below* ``loss_threshold`` (e.g. 25 %
+        for RLM) receives at least ``ceil((1 - loss_threshold) * packets)``
+        packets; choosing ``k`` equal to that count means exactly the
+        uncongested receivers can reconstruct the key.
+        """
+        if not (0.0 <= loss_threshold < 1.0):
+            raise ValueError("loss_threshold must be in [0, 1)")
+        if packets < 1:
+            raise ValueError("packets must be positive")
+        import math
+
+        return max(1, math.ceil((1.0 - loss_threshold) * packets))

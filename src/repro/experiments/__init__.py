@@ -1,0 +1,67 @@
+"""Experiments reproducing every figure of the paper's evaluation (§5).
+
+* :mod:`repro.experiments.figure1` — Figures 1 and 7 (inflated subscription
+  without and with DELTA/SIGMA protection).
+* :mod:`repro.experiments.figure8` — Figures 8(a)-(h) (preservation of
+  congestion control properties).
+* :mod:`repro.experiments.figure9` — Figures 9(a)-(b) (communication
+  overhead, analytic and measured).
+* :mod:`repro.experiments.config` — the shared §5.1 settings.
+* :mod:`repro.experiments.scenario` — the single-bottleneck scenario builder.
+"""
+
+from .config import PAPER_DEFAULTS, ExperimentConfig
+from .figure1 import (
+    DEFAULT_ATTACK_START_S,
+    InflatedSubscriptionResult,
+    run_inflated_subscription_experiment,
+)
+from .figure8 import (
+    PAPER_SESSION_COUNTS,
+    ConvergenceResult,
+    ResponsivenessResult,
+    RttFairnessResult,
+    ThroughputVsSessionsResult,
+    run_convergence,
+    run_heterogeneous_rtt,
+    run_responsiveness,
+    run_throughput_vs_sessions,
+)
+from .figure9 import (
+    PAPER_GROUP_COUNTS,
+    PAPER_SLOT_DURATIONS,
+    MeasuredOverheadResult,
+    OverheadSweepResult,
+    figure9_model,
+    run_group_count_sweep,
+    run_measured_overhead,
+    run_slot_duration_sweep,
+)
+from .scenario import MulticastSession, Scenario
+
+__all__ = [
+    "PAPER_DEFAULTS",
+    "ExperimentConfig",
+    "DEFAULT_ATTACK_START_S",
+    "InflatedSubscriptionResult",
+    "run_inflated_subscription_experiment",
+    "PAPER_SESSION_COUNTS",
+    "ConvergenceResult",
+    "ResponsivenessResult",
+    "RttFairnessResult",
+    "ThroughputVsSessionsResult",
+    "run_convergence",
+    "run_heterogeneous_rtt",
+    "run_responsiveness",
+    "run_throughput_vs_sessions",
+    "PAPER_GROUP_COUNTS",
+    "PAPER_SLOT_DURATIONS",
+    "MeasuredOverheadResult",
+    "OverheadSweepResult",
+    "figure9_model",
+    "run_group_count_sweep",
+    "run_measured_overhead",
+    "run_slot_duration_sweep",
+    "MulticastSession",
+    "Scenario",
+]

@@ -1,0 +1,260 @@
+"""Scenario builder for the §5 evaluation topologies.
+
+Every figure of the paper uses the same single-bottleneck arrangement with a
+different mix of traffic; :class:`Scenario` assembles those mixes:
+
+* any number of multicast sessions, each either FLID-DL (unprotected, the
+  receiver-side edge router runs IGMP) or FLID-DS (protected, the edge router
+  runs a SIGMA agent);
+* well-behaved or misbehaving (inflated-subscription) receivers per session,
+  with configurable attack start times and per-receiver access-link delays;
+* any number of TCP Reno connections;
+* optional on-off CBR background or burst traffic.
+
+The builder exposes the created senders/receivers/connections so experiments
+and tests can interrogate throughput monitors, SIGMA statistics and level
+histories after :meth:`run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.sigma import SigmaConfig, SigmaRouterAgent
+from ..core.timeslot import SlotClock
+from ..multicast_cc import (
+    FlidDlReceiver,
+    FlidDlSender,
+    FlidDsReceiver,
+    FlidDsSender,
+    InflatedSubscriptionFlidDlReceiver,
+    InflatedSubscriptionFlidDsReceiver,
+    SessionSpec,
+)
+from ..multicast_cc.receiver_base import LayeredReceiverBase
+from ..multicast_cc.sender_base import LayeredSenderBase
+from ..simulator.igmp import install_igmp
+from ..simulator.monitors import OverheadAccumulator
+from ..simulator.node import Host
+from ..simulator.topology import DumbbellConfig, DumbbellNetwork
+from ..transport.cbr import CbrSink, OnOffCbrSource
+from ..transport.tcp import TcpConnection
+from .config import ExperimentConfig
+
+__all__ = ["MulticastSession", "Scenario"]
+
+
+@dataclass
+class MulticastSession:
+    """Handles to one multicast session created by the scenario builder."""
+
+    spec: SessionSpec
+    protected: bool
+    sender: LayeredSenderBase
+    receivers: List[LayeredReceiverBase] = field(default_factory=list)
+    overhead: Optional[OverheadAccumulator] = None
+
+    @property
+    def receiver(self) -> LayeredReceiverBase:
+        """The session's first (often only) receiver."""
+        return self.receivers[0]
+
+
+class Scenario:
+    """One §5-style experiment: a dumbbell plus a configurable traffic mix."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        protected: bool,
+        bottleneck_bps: Optional[float] = None,
+        expected_sessions: int = 1,
+        sigma_config: Optional[SigmaConfig] = None,
+    ) -> None:
+        self.config = config
+        self.protected = protected
+        dumbbell_config = config.dumbbell(expected_sessions, bottleneck_bps)
+        self.network = DumbbellNetwork(dumbbell_config)
+        self.sessions: List[MulticastSession] = []
+        self.tcp_connections: List[TcpConnection] = []
+        self.cbr_sources: List[OnOffCbrSource] = []
+        self.cbr_sinks: List[CbrSink] = []
+        self.sigma: Optional[SigmaRouterAgent] = None
+        self._next_port = 5000
+
+        if protected:
+            slot_clock = SlotClock(self.network.sim, config.flid_ds_slot_s)
+            self.sigma = SigmaRouterAgent(
+                self.network.right,
+                self.network.multicast,
+                slot_clock,
+                config=sigma_config,
+            )
+            slot_clock.start()
+        else:
+            install_igmp(self.network.right, self.network.multicast)
+
+    # ------------------------------------------------------------------
+    # multicast sessions
+    # ------------------------------------------------------------------
+    def add_multicast_session(
+        self,
+        session_id: Optional[str] = None,
+        receivers: int = 1,
+        misbehaving: Tuple[int, ...] = (),
+        attack_start_s: float = 0.0,
+        receiver_start_times: Optional[List[float]] = None,
+        receiver_access_delays: Optional[List[Optional[float]]] = None,
+        track_overhead: bool = False,
+        suppress_unsubscribed_groups: bool = True,
+    ) -> MulticastSession:
+        """Create one multicast session with its sender and receivers.
+
+        ``misbehaving`` lists the (0-based) receiver indices that mount the
+        inflated-subscription attack starting at ``attack_start_s``.
+        """
+        index = len(self.sessions) + 1
+        session_id = session_id or f"mc{index}"
+        spec = self.config.session_spec(session_id, self.protected).with_addresses(
+            self.network.allocate_groups(self.config.group_count)
+        )
+        overhead = OverheadAccumulator() if track_overhead else None
+
+        sender_host = self.network.add_sender(f"{session_id}-src")
+        sender: LayeredSenderBase
+        if self.protected:
+            sender = FlidDsSender(
+                self.network,
+                sender_host,
+                spec,
+                key_bits=self.config.key_bits,
+                overhead=overhead,
+                suppress_unsubscribed_groups=suppress_unsubscribed_groups,
+            )
+        else:
+            sender = FlidDlSender(
+                self.network,
+                sender_host,
+                spec,
+                overhead=overhead,
+                suppress_unsubscribed_groups=suppress_unsubscribed_groups,
+            )
+
+        session = MulticastSession(
+            spec=spec, protected=self.protected, sender=sender, overhead=overhead
+        )
+        start_times = receiver_start_times or [0.0] * receivers
+        access_delays = receiver_access_delays or [None] * receivers
+        for r_index in range(receivers):
+            host = self.network.add_receiver(
+                f"{session_id}-rx{r_index + 1}", access_delay_s=access_delays[r_index]
+            )
+            receiver = self._make_receiver(
+                spec, host, misbehaving=r_index in misbehaving, attack_start_s=attack_start_s
+            )
+            session.receivers.append(receiver)
+            receiver.start(start_times[r_index])
+        sender.start()
+        self.sessions.append(session)
+        return session
+
+    def _make_receiver(
+        self,
+        spec: SessionSpec,
+        host: Host,
+        misbehaving: bool,
+        attack_start_s: float,
+    ) -> LayeredReceiverBase:
+        if self.protected:
+            if misbehaving:
+                return InflatedSubscriptionFlidDsReceiver(
+                    self.network,
+                    host,
+                    spec,
+                    attack_start_s=attack_start_s,
+                    key_bits=self.config.key_bits,
+                )
+            return FlidDsReceiver(self.network, host, spec, key_bits=self.config.key_bits)
+        if misbehaving:
+            return InflatedSubscriptionFlidDlReceiver(
+                self.network, host, spec, attack_start_s=attack_start_s
+            )
+        return FlidDlReceiver(self.network, host, spec)
+
+    # ------------------------------------------------------------------
+    # unicast traffic
+    # ------------------------------------------------------------------
+    def add_tcp_connection(self, name: Optional[str] = None, start_s: float = 0.0) -> TcpConnection:
+        """Add a TCP Reno connection crossing the bottleneck left to right."""
+        index = len(self.tcp_connections) + 1
+        name = name or f"tcp{index}"
+        source = self.network.add_sender(f"{name}-src")
+        sink_host = self.network.add_receiver(f"{name}-dst")
+        self.network.build_routes()
+        connection = TcpConnection.create(
+            source, sink_host, port=self._allocate_port(), segment_bytes=self.config.packet_bytes, name=name
+        )
+        connection.start(start_s)
+        self.tcp_connections.append(connection)
+        return connection
+
+    def add_onoff_cbr(
+        self,
+        rate_bps: float,
+        on_s: float = 5.0,
+        off_s: float = 5.0,
+        active_window: Optional[Tuple[float, float]] = None,
+        name: str = "cbr",
+    ) -> Tuple[OnOffCbrSource, CbrSink]:
+        """Add an on-off CBR session crossing the bottleneck."""
+        source_host = self.network.add_sender(f"{name}-src")
+        sink_host = self.network.add_receiver(f"{name}-dst")
+        self.network.build_routes()
+        port = self._allocate_port()
+        sink = CbrSink(sink_host, port, name=f"{name}-sink")
+        source = OnOffCbrSource(
+            source_host,
+            sink_host,
+            port,
+            rate_bps=rate_bps,
+            on_s=on_s,
+            off_s=off_s,
+            packet_bytes=self.config.packet_bytes,
+            active_window=active_window,
+            name=name,
+        )
+        source.start()
+        self.cbr_sources.append(source)
+        self.cbr_sinks.append(sink)
+        return source, sink
+
+    def _allocate_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, duration_s: Optional[float] = None) -> None:
+        """Build routes and run the simulation for the configured duration."""
+        self.network.run(duration_s if duration_s is not None else self.config.duration_s)
+
+    # ------------------------------------------------------------------
+    # results helpers
+    # ------------------------------------------------------------------
+    def multicast_average_kbps(
+        self, start_s: Optional[float] = None, end_s: Optional[float] = None
+    ) -> List[float]:
+        """Average throughput of each session's first receiver."""
+        start = self.config.warmup_s if start_s is None else start_s
+        end = self.config.duration_s if end_s is None else end_s
+        return [s.receiver.average_rate_kbps(start, end) for s in self.sessions]
+
+    def tcp_average_kbps(
+        self, start_s: Optional[float] = None, end_s: Optional[float] = None
+    ) -> List[float]:
+        start = self.config.warmup_s if start_s is None else start_s
+        end = self.config.duration_s if end_s is None else end_s
+        return [c.monitor.average_rate_kbps(start, end) for c in self.tcp_connections]

@@ -1,0 +1,16 @@
+"""Forward error correction for SIGMA control packets.
+
+SIGMA distributes per-slot ``(group address, keys)`` tuples to edge routers
+via special multicast packets and relies on forward error correction to make
+the delivery reliable without acknowledgements (§3.2.1).  The paper's
+overhead analysis models FEC as a bit-expansion factor ``z`` sized to
+overcome 50 % packet loss.
+
+This package provides a simple erasure code with exactly that interface: the
+encoder expands ``k`` source symbols into ``n >= k`` coded symbols and the
+decoder recovers the source from any ``k`` received symbols.
+"""
+
+from .erasure import ErasureCode, FecConfig, RepetitionCode
+
+__all__ = ["ErasureCode", "FecConfig", "RepetitionCode"]

@@ -1,0 +1,41 @@
+"""Multicast congestion control protocols.
+
+* :mod:`repro.multicast_cc.flid_dl` — FLID-DL, the unprotected baseline.
+* :mod:`repro.multicast_cc.flid_ds` — FLID-DS, FLID-DL integrated with DELTA
+  and SIGMA (the paper's protected protocol).
+* :mod:`repro.multicast_cc.misbehaving` — inflated-subscription attackers for
+  both protocols.
+* :mod:`repro.multicast_cc.replicated` — a replicated (single-group-per-level)
+  protocol protected by the Figure 5 DELTA instantiation.
+* :mod:`repro.multicast_cc.session` — session descriptions (rates, groups,
+  slots) shared by all protocols.
+"""
+
+from .flid_dl import FlidDlReceiver, FlidDlSender
+from .flid_ds import FlidDsReceiver, FlidDsSender
+from .misbehaving import (
+    IgnoreCongestionFlidDlReceiver,
+    InflatedSubscriptionFlidDlReceiver,
+    InflatedSubscriptionFlidDsReceiver,
+)
+from .receiver_base import LayeredReceiverBase, SlotRecord
+from .replicated import ReplicatedReceiver, ReplicatedSender
+from .sender_base import LayeredSenderBase
+from .session import SessionSpec, fair_level_for_rate
+
+__all__ = [
+    "FlidDlReceiver",
+    "FlidDlSender",
+    "FlidDsReceiver",
+    "FlidDsSender",
+    "IgnoreCongestionFlidDlReceiver",
+    "InflatedSubscriptionFlidDlReceiver",
+    "InflatedSubscriptionFlidDsReceiver",
+    "LayeredReceiverBase",
+    "SlotRecord",
+    "LayeredSenderBase",
+    "ReplicatedReceiver",
+    "ReplicatedSender",
+    "SessionSpec",
+    "fair_level_for_rate",
+]

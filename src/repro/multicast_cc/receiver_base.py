@@ -1,0 +1,269 @@
+"""Common machinery of the FLID-DL and FLID-DS receivers.
+
+A layered-multicast receiver collects the packets of its subscribed groups,
+detects losses through per-group sequence gaps (and through starvation of a
+group it has been receiving), gathers the slot's upgrade-authorisation
+signals, and at the end of every slot decides whether to decrease, hold or
+increase its subscription level.
+
+Packets are grouped by the *slot index stamped by the sender* rather than by
+local arrival time, and a slot is evaluated a small guard interval after its
+nominal end; this absorbs propagation and queueing skew so that the DELTA key
+reconstruction in FLID-DS sees exactly the per-slot packet sets the sender
+used to define the keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..simulator.engine import PeriodicTimer
+from ..simulator.monitors import ThroughputMonitor
+from ..simulator.node import Host, PacketAgent
+from ..simulator.packet import Packet
+from . import headers
+from .session import SessionSpec
+
+__all__ = ["SlotRecord", "LayeredReceiverBase"]
+
+#: Guard added after a slot's nominal end before it is evaluated, sized to
+#: exceed the propagation plus typical queueing delay of the §5.1 topology.
+DEFAULT_GUARD_S = 0.12
+
+
+@dataclass
+class SlotRecord:
+    """Everything the receiver observed about one sender slot."""
+
+    slot: int
+    #: Per-group list of (sequence, component, decrease) tuples in arrival order.
+    packets: Dict[int, List[Tuple[int, Optional[int], Optional[int]]]] = field(default_factory=dict)
+    #: Groups in which a sequence gap was detected.
+    gap_groups: Set[int] = field(default_factory=set)
+    #: Groups for which the slot's closing (last) packet was received.
+    closing_seen: Set[int] = field(default_factory=set)
+    #: Union of the upgrade-authorisation signals seen on packets of the slot.
+    upgrade_groups: Set[int] = field(default_factory=set)
+    bytes_received: int = 0
+
+    def received_groups(self) -> Set[int]:
+        return {g for g, pkts in self.packets.items() if pkts}
+
+    def components(self) -> Dict[int, List[int]]:
+        return {
+            g: [c for (_, c, _) in pkts if c is not None]
+            for g, pkts in self.packets.items()
+        }
+
+    def decrease_fields(self) -> Dict[int, List[int]]:
+        return {
+            g: [d for (_, _, d) in pkts if d is not None]
+            for g, pkts in self.packets.items()
+        }
+
+
+class LayeredReceiverBase(PacketAgent):
+    """Receiver-driven layered congestion control (shared FLID logic)."""
+
+    def __init__(
+        self,
+        host: Host,
+        spec: SessionSpec,
+        bin_width_s: float = 1.0,
+        guard_s: float = DEFAULT_GUARD_S,
+        name: str = "",
+    ) -> None:
+        if not spec.group_addresses:
+            raise ValueError("session spec must have group addresses assigned")
+        self.host = host
+        self.spec = spec
+        self.sim = host.sim
+        self.guard_s = guard_s
+        self.name = name or f"{spec.session_id}-rx-{host.name}"
+        self.monitor = ThroughputMonitor(self.sim, bin_width_s=bin_width_s, name=self.name)
+
+        #: Current subscription level (number of groups the receiver believes
+        #: it is entitled to).  Level 0 means "not yet admitted".
+        self.level = 0
+        self._slots: Dict[int, SlotRecord] = {}
+        #: Per-group (last sequence seen, slot in which it was seen); used for
+        #: gap detection with automatic re-baselining after an absence.
+        self._last_seen: Dict[int, Tuple[int, int]] = {}
+        #: Groups from which packets have ever been received (starvation of a
+        #: never-seen group is join latency, not congestion).
+        self._seen_groups: Set[int] = set()
+        self._timer: Optional[PeriodicTimer] = None
+        self._started_at: Optional[float] = None
+        self._last_processed_slot = -1
+
+        #: Slots up to and including this index ignore congestion signals.  A
+        #: decrease sets it so that one congestion episode (which persists
+        #: until the subscription change actually relieves the bottleneck)
+        #: does not trigger a cascade of multi-level drops — the role played
+        #: in FLID-DL by dynamic layering's implicit, immediate rate decay.
+        self._deaf_until_slot = -1
+
+        # statistics
+        self.decreases = 0
+        self.increases = 0
+        self.congested_slots = 0
+        self.level_history: List[Tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, delay_s: float = 0.0) -> None:
+        """Join the session ``delay_s`` seconds from now."""
+        self.sim.schedule(delay_s, self._bootstrap)
+
+    def _bootstrap(self) -> None:
+        self._started_at = self.sim.now
+        for group in range(1, self.spec.group_count + 1):
+            self.host.register_group_agent(self.spec.address_of(group), self)
+        self._join_session()
+        self._set_level(1)
+        slot_duration = self.spec.slot_duration_s
+        current_slot = int(self.sim.now / slot_duration)
+        self._last_processed_slot = current_slot - 1
+        first_delay = (current_slot + 1) * slot_duration + self.guard_s - self.sim.now
+        self._timer = PeriodicTimer(
+            self.sim, slot_duration, self._on_timer, first_delay=max(first_delay, 1e-6)
+        )
+        self._timer.start()
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+
+    # ------------------------------------------------------------------
+    # hooks implemented by FLID-DL / FLID-DS subclasses
+    # ------------------------------------------------------------------
+    def _join_session(self) -> None:  # pragma: no cover - interface
+        """Perform the protocol's admission step (IGMP join or SIGMA session-join)."""
+        raise NotImplementedError
+
+    def _apply_decision(self, evaluated_slot: int, record: SlotRecord, congested: bool) -> None:
+        """Subscription-control reaction to one evaluated slot."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    # ------------------------------------------------------------------
+    # packet path
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet) -> None:
+        if packet.headers.get(headers.SESSION) != self.spec.session_id:
+            return
+        group = packet.headers[headers.GROUP]
+        slot = packet.headers[headers.SLOT]
+        seq = packet.headers[headers.GROUP_SEQ]
+        self.monitor.record(packet.size_bytes)
+        self._seen_groups.add(group)
+
+        record = self._slots.setdefault(slot, SlotRecord(slot=slot))
+        record.bytes_received += packet.size_bytes
+        record.packets.setdefault(group, []).append(
+            (
+                seq,
+                packet.headers.get(headers.COMPONENT),
+                packet.headers.get(headers.DECREASE),
+            )
+        )
+        record.upgrade_groups.update(packet.headers.get(headers.UPGRADE_GROUPS, ()))
+        if packet.headers.get(headers.CLOSING):
+            record.closing_seen.add(group)
+
+        # Gap detection with re-baselining: a sequence jump only counts as a
+        # loss when the previous packet of the group was seen in this slot or
+        # the one before it; after a longer absence (the receiver had left the
+        # group) the baseline is stale and the jump is not a loss.
+        previous = self._last_seen.get(group)
+        if previous is not None:
+            last_seq, last_slot = previous
+            if last_slot >= slot - 1 and seq > last_seq + 1:
+                record.gap_groups.add(group)
+        if previous is None or seq > previous[0]:
+            self._last_seen[group] = (seq, slot)
+
+    # ------------------------------------------------------------------
+    # slot evaluation
+    # ------------------------------------------------------------------
+    def _on_timer(self) -> None:
+        slot_duration = self.spec.slot_duration_s
+        ready_until = int((self.sim.now - self.guard_s) / slot_duration) - 1
+        while self._last_processed_slot < ready_until:
+            self._last_processed_slot += 1
+            self._evaluate_slot(self._last_processed_slot)
+
+    def _evaluate_slot(self, slot: int) -> None:
+        record = self._slots.pop(slot, SlotRecord(slot=slot))
+        congested = self._is_congested(record)
+        if congested:
+            self.congested_slots += 1
+            if slot <= self._deaf_until_slot:
+                # Still inside the deaf period of a previous decrease: the
+                # congestion is (most likely) the tail of the same episode.
+                congested = False
+        self._apply_decision(slot, record, congested)
+
+    def _enter_deaf_period(self, last_deaf_slot: int) -> None:
+        """Ignore congestion through ``last_deaf_slot`` (inclusive)."""
+        self._deaf_until_slot = max(self._deaf_until_slot, last_deaf_slot)
+
+    def _entitled_groups(self, record: SlotRecord) -> Set[int]:
+        """Groups whose losses count as congestion for this slot.
+
+        The base implementation is the receiver's current subscription level;
+        FLID-DS refines it with its per-slot entitlement schedule.  Groups the
+        receiver has deliberately left (or never joined) do not count — their
+        missing packets are a consequence of the subscription change, not of
+        congestion.
+        """
+        return set(range(1, self.level + 1))
+
+    def _is_congested(self, record: SlotRecord) -> bool:
+        """Single-loss congestion definition plus starvation of a live group."""
+        relevant = self._entitled_groups(record)
+        if record.gap_groups & relevant:
+            return True
+        if self._tail_loss_groups(record) & relevant:
+            return True
+        # Starvation: a group we are entitled to and have received before went
+        # completely silent for a slot.  A fully established level losing every
+        # packet of a layer is congestion, not join latency.
+        if relevant and self._started_at is not None:
+            established = self.sim.now - self._started_at > 2 * self.spec.slot_duration_s
+            if established:
+                received = record.received_groups()
+                for group in relevant:
+                    if group in self._seen_groups and group not in received:
+                        return True
+        return False
+
+    def _tail_loss_groups(self, record: SlotRecord) -> Set[int]:
+        """Groups whose closing packet is missing despite other packets arriving.
+
+        The sender marks the last packet of every (group, slot); a group with
+        traffic but no closing marker lost its tail, which per-sequence gap
+        detection alone cannot see until the next slot.
+        """
+        return {
+            group
+            for group, pkts in record.packets.items()
+            if pkts and group not in record.closing_seen
+        }
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _set_level(self, level: int) -> None:
+        level = max(0, min(level, self.spec.group_count))
+        if level > self.level:
+            self.increases += 1
+        elif level < self.level:
+            self.decreases += 1
+        self.level = level
+        self.level_history.append((self.sim.now, level))
+
+    def average_rate_kbps(self, start_s: float = 0.0, end_s: Optional[float] = None) -> float:
+        """Average goodput of this receiver over the interval, in Kbps."""
+        return self.monitor.average_rate_kbps(start_s, end_s)

@@ -1,0 +1,161 @@
+"""Common machinery of the FLID-DL and FLID-DS senders.
+
+A layered-multicast sender transmits every group (layer) of its session at
+the layer's rate, stamping each packet with the session id, group index,
+slot index, per-group sequence number and the slot's upgrade-authorisation
+signal.  FLID-DS additionally decorates packets with DELTA fields and
+announces keys to edge routers, which it does by overriding the two hooks
+:meth:`_on_slot_start` and :meth:`_decorate_packet`.
+
+To keep large experiments tractable the sender can *suppress* transmission of
+groups that currently have no subscribed receivers (the packets would be
+pruned at the first-hop router anyway); this is purely a simulation-cost
+optimisation and is on by default.  Sequence numbers only advance for packets
+actually transmitted so suppression never manufactures phantom losses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..core.timeslot import SlotClock
+from ..simulator.monitors import OverheadAccumulator
+from ..simulator.node import Host
+from ..simulator.packet import Packet
+from ..simulator.topology import Network
+from . import headers
+from .session import SessionSpec
+
+__all__ = ["LayeredSenderBase"]
+
+
+class LayeredSenderBase:
+    """Sends the layered groups of one session and draws upgrade signals."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        spec: SessionSpec,
+        rng: Optional[random.Random] = None,
+        suppress_unsubscribed_groups: bool = True,
+        overhead: Optional[OverheadAccumulator] = None,
+    ) -> None:
+        if not spec.group_addresses:
+            raise ValueError("session spec must have group addresses assigned")
+        self.network = network
+        self.host = host
+        self.spec = spec
+        self.sim = host.sim
+        self.rng = rng or network.random.stream(f"flid-sender-{spec.session_id}")
+        self.suppress_unsubscribed_groups = suppress_unsubscribed_groups
+        self.overhead = overhead
+
+        self.slot_clock = SlotClock(self.sim, spec.slot_duration_s)
+        self.slot_clock.on_slot_start(self._on_slot_start)
+
+        self._group_seq: Dict[int, int] = {g: 0 for g in range(1, spec.group_count + 1)}
+        self._current_upgrades: Tuple[int, ...] = ()
+        self._started = False
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_suppressed = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, delay_s: float = 0.0) -> None:
+        """Begin transmitting all groups ``delay_s`` seconds from now."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule(delay_s, self._bootstrap)
+
+    def _bootstrap(self) -> None:
+        self._current_upgrades = self._draw_upgrades()
+        self._on_slot_start(self.slot_clock.current_slot)
+        self.slot_clock.start()
+        for group in range(1, self.spec.group_count + 1):
+            # Stagger group start times slightly so slot boundaries do not see
+            # synchronised bursts across layers.
+            offset = self.rng.uniform(0.0, self.spec.packet_interval_s(group))
+            self.sim.schedule(offset, self._transmit_group, group)
+
+    def stop(self) -> None:
+        self._started = False
+        self.slot_clock.stop()
+
+    # ------------------------------------------------------------------
+    # per-slot behaviour (overridden by FLID-DS)
+    # ------------------------------------------------------------------
+    def _draw_upgrades(self) -> Tuple[int, ...]:
+        """Groups whose upgrade the protocol authorises for the coming period."""
+        authorized: List[int] = []
+        for group in range(2, self.spec.group_count + 1):
+            if self.rng.random() < self.spec.upgrade_probability(group):
+                authorized.append(group)
+        return tuple(authorized)
+
+    def _on_slot_start(self, slot: int) -> None:
+        """Hook invoked at every slot boundary; the base draws upgrade signals."""
+        self._current_upgrades = self._draw_upgrades()
+
+    def _decorate_packet(self, packet: Packet, group: int, is_last_in_slot: bool) -> None:
+        """Hook for subclasses to add protocol-specific fields (DELTA)."""
+        if self.overhead is not None:
+            self.overhead.record_data_packet(packet.size_bits, delta_bits=0)
+
+    # ------------------------------------------------------------------
+    # transmission loop
+    # ------------------------------------------------------------------
+    def _transmit_group(self, group: int) -> None:
+        if not self._started:
+            return
+        interval = self.spec.packet_interval_s(group)
+        self._send_group_packet(group, interval)
+        # Jitter the spacing by ±10 % around the nominal interval.  The mean
+        # rate is unchanged, but the de-phasing prevents the strictly periodic
+        # layer schedules from locking competing TCP flows out of the
+        # drop-tail bottleneck queue.
+        jittered = interval * self.rng.uniform(0.9, 1.1)
+        self.sim.schedule(jittered, self._transmit_group, group)
+
+    def _has_subscribers(self, group: int) -> bool:
+        address = self.spec.address_of(group)
+        return bool(self.network.multicast.members(address))
+
+    def _send_group_packet(self, group: int, interval: float) -> None:
+        if self.suppress_unsubscribed_groups and not self._has_subscribers(group):
+            self.packets_suppressed += 1
+            return
+        slot = self.slot_clock.current_slot
+        slot_end = self.slot_clock.end_of(slot)
+        is_last_in_slot = (self.sim.now + interval) >= (slot_end - 1e-9)
+        seq = self._group_seq[group]
+        self._group_seq[group] = seq + 1
+        packet = Packet(
+            source=self.host.address,
+            destination=self.spec.address_of(group),
+            size_bytes=self.spec.packet_bytes,
+            protocol="flid",
+            headers={
+                headers.SESSION: self.spec.session_id,
+                headers.GROUP: group,
+                headers.SLOT: slot,
+                headers.GROUP_SEQ: seq,
+                headers.UPGRADE_GROUPS: self._current_upgrades,
+                headers.CLOSING: is_last_in_slot,
+            },
+            created_at=self.sim.now,
+        )
+        self._decorate_packet(packet, group, is_last_in_slot)
+        self.packets_sent += 1
+        self.bytes_sent += packet.size_bytes
+        self.host.send(packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def current_upgrades(self) -> Tuple[int, ...]:
+        """Upgrade authorisations in force for the current slot."""
+        return self._current_upgrades

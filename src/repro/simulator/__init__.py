@@ -1,0 +1,79 @@
+"""Discrete-event network simulator substrate.
+
+This package replaces NS-2 for the reproduction: an event-heap engine,
+store-and-forward links with drop-tail queues, hosts and routers, unicast
+routing, IP-multicast forwarding with IGMP-style membership, deterministic
+random streams and measurement instrumentation.
+
+Public surface
+--------------
+The names re-exported here form the simulator's public API; everything else
+in the package is an implementation detail.
+"""
+
+from .address import (
+    MULTICAST_BASE,
+    GroupAddress,
+    GroupAddressAllocator,
+    NodeAddress,
+    is_multicast,
+)
+from .engine import Event, PeriodicTimer, SimulationError, Simulator
+from .igmp import IgmpGroupManager, IgmpHostInterface, install_igmp
+from .link import Link, LinkStats, default_buffer_bytes
+from .monitors import (
+    LinkMonitor,
+    OverheadAccumulator,
+    ThroughputMonitor,
+    ThroughputSample,
+    jain_fairness,
+)
+from .multicast import MulticastRoutingService
+from .node import ControlChannel, Host, Node, PacketAgent, Router
+from .packet import DEFAULT_DATA_PACKET_BYTES, Packet, PacketFactory
+from .queues import DropTailQueue, ECNMarkingQueue, QueueStats
+from .rng import RandomStreams
+from .routing import RoutingError, compute_routes, shortest_path
+from .topology import DumbbellConfig, DumbbellNetwork, Network
+
+__all__ = [
+    "MULTICAST_BASE",
+    "GroupAddress",
+    "GroupAddressAllocator",
+    "NodeAddress",
+    "is_multicast",
+    "Event",
+    "PeriodicTimer",
+    "SimulationError",
+    "Simulator",
+    "IgmpGroupManager",
+    "IgmpHostInterface",
+    "install_igmp",
+    "Link",
+    "LinkStats",
+    "default_buffer_bytes",
+    "LinkMonitor",
+    "OverheadAccumulator",
+    "ThroughputMonitor",
+    "ThroughputSample",
+    "jain_fairness",
+    "MulticastRoutingService",
+    "ControlChannel",
+    "Host",
+    "Node",
+    "PacketAgent",
+    "Router",
+    "DEFAULT_DATA_PACKET_BYTES",
+    "Packet",
+    "PacketFactory",
+    "DropTailQueue",
+    "ECNMarkingQueue",
+    "QueueStats",
+    "RandomStreams",
+    "RoutingError",
+    "compute_routes",
+    "shortest_path",
+    "DumbbellConfig",
+    "DumbbellNetwork",
+    "Network",
+]

@@ -1,0 +1,280 @@
+"""Discrete-event simulation engine.
+
+The engine is the substrate that replaces NS-2 in this reproduction.  It is a
+classic event-heap simulator: callers schedule *events* (callbacks with
+arguments) at absolute or relative simulated times and the engine executes
+them in time order.  All other subsystems (links, transport protocols,
+multicast congestion control, SIGMA edge routers) are built on top of this
+module.
+
+Design notes
+------------
+* Simulated time is a ``float`` number of seconds, starting at ``0.0``.
+* Events scheduled for the same time are executed in FIFO order of
+  scheduling (a monotonically increasing sequence number breaks ties), which
+  keeps runs fully deterministic.
+* Events can be cancelled; cancellation is O(1) (the event is flagged and
+  skipped when popped), which is the standard approach for timer-heavy
+  protocols such as TCP retransmission timers.
+* Recurring activities (periodic timers) are provided by
+  :class:`PeriodicTimer` as a convenience wrapper.
+
+The engine deliberately knows nothing about packets, links or protocols; it
+only runs callbacks.  This keeps every higher layer unit-testable with a
+bare engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "PeriodicTimer",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine.
+
+    Examples include scheduling an event in the past or running a simulator
+    that has already been stopped and not reset.
+    """
+
+
+@dataclass(order=False)
+class Event:
+    """A single scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and can be used to
+    cancel the event before it fires.  Events compare by ``(time, seq)`` so
+    the heap is stable and deterministic.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None]
+    args: tuple = field(default_factory=tuple)
+    kwargs: dict = field(default_factory=dict)
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Cancel the event; it will be skipped when its time arrives."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {name}, {state})"
+
+
+class Simulator:
+    """Event-heap discrete-event simulator.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, my_callback, arg1, arg2)
+        sim.run(until=10.0)
+
+    The simulator can be run in increments: successive calls to
+    :meth:`run` continue from the current simulated time.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # time & introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (useful in tests and benches)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which may be cancelled.  ``delay`` must
+        be non-negative; a zero delay runs the callback later in the same
+        simulated instant (after currently executing code returns).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now={self._now}): time is in the past"
+            )
+        event = Event(time, next(self._seq), callback, args, kwargs)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[Event]:
+        """Execute the single next pending event.
+
+        Returns the event executed, or ``None`` if the queue is empty.
+        Cancelled events are discarded silently.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args, **event.kwargs)
+            self._events_executed += 1
+            return event
+        return None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` passes, or ``max_events``.
+
+        Parameters
+        ----------
+        until:
+            Absolute simulated time at which to stop.  Events at exactly
+            ``until`` are executed; later events remain queued.  When the
+            queue drains before ``until``, the clock is advanced to ``until``
+            so periodic post-processing sees a consistent end time.
+        max_events:
+            Optional hard cap on the number of events to execute, useful as a
+            safety net in tests.
+        """
+        self._stopped = False
+        executed = 0
+        while self._queue and not self._stopped:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        if until is not None and self._now < until and not self._stopped:
+            self._now = until
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` loop after the executing event."""
+        self._stopped = True
+
+    def clear(self) -> None:
+        """Drop all pending events without executing them."""
+        self._queue.clear()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def drain_iter(self) -> Iterator[Event]:
+        """Iterate over events as they are executed (debug/test helper)."""
+        while True:
+            event = self.step()
+            if event is None:
+                return
+            yield event
+
+
+class PeriodicTimer:
+    """Fires a callback every ``interval`` seconds until stopped.
+
+    The first firing happens ``interval`` seconds after :meth:`start`
+    (or after ``first_delay`` when supplied).  The callback receives no
+    arguments; bind state with ``functools.partial`` or a closure.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        first_delay: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive (got {interval})")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._first_delay = interval if first_delay is None else first_delay
+        self._event: Optional[Event] = None
+        self._running = False
+        self.fired = 0
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._event = self._sim.schedule(self._first_delay, self._fire)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def reschedule(self, interval: float) -> None:
+        """Change the firing interval, effective from the next firing."""
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive (got {interval})")
+        self._interval = interval
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.fired += 1
+        self._callback()
+        if self._running:
+            self._event = self._sim.schedule(self._interval, self._fire)

@@ -1,0 +1,122 @@
+"""IGMP-style group management (the unprotected baseline).
+
+The Internet Group Management Protocol lets any receiver join any multicast
+group whose address it knows; the edge router honours every membership
+report.  This is exactly the weakness the paper exploits in its motivating
+experiment (Figure 1): a misbehaving FLID-DL receiver simply IGMP-joins every
+group of its session and inflates its subscription.
+
+Two classes are provided:
+
+``IgmpGroupManager``
+    Lives at an edge router.  Grants every join/leave request it receives on
+    a local interface by updating the network-wide
+    :class:`~repro.simulator.multicast.MulticastRoutingService`.
+
+``IgmpHostInterface``
+    Lives at a host; sends membership reports to the host's edge router over
+    the control channel.  Multicast receivers (well-behaved or misbehaving)
+    call :meth:`join` and :meth:`leave` on it.
+
+SIGMA (:mod:`repro.core.sigma`) replaces ``IgmpGroupManager`` at protected
+edge routers while keeping the same host-facing message surface, which is
+how the paper describes incremental deployment (§3.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from .address import GroupAddress
+from .multicast import MulticastRoutingService
+from .node import Host, Router
+
+__all__ = ["IgmpGroupManager", "IgmpHostInterface", "install_igmp"]
+
+
+class IgmpGroupManager:
+    """Edge-router side of IGMP: honour every join and leave."""
+
+    #: Approximate size of an IGMP membership report on the wire, used only
+    #: for control-overhead accounting.
+    REPORT_SIZE_BYTES = 32
+
+    def __init__(self, router: Router, multicast: MulticastRoutingService) -> None:
+        self.router = router
+        self.multicast = multicast
+        self.joins_handled = 0
+        self.leaves_handled = 0
+        #: Per-host view of granted memberships (for tests / introspection).
+        self.memberships: Dict[str, Set[int]] = {}
+        router.group_manager = self
+
+    # ------------------------------------------------------------------
+    def handle_join(self, host: Host, group: GroupAddress) -> None:
+        """Grant a membership report unconditionally."""
+        self.joins_handled += 1
+        self.memberships.setdefault(host.name, set()).add(int(group))
+        self.multicast.join(host, group)
+
+    def handle_leave(self, host: Host, group: GroupAddress) -> None:
+        """Process a leave report."""
+        self.leaves_handled += 1
+        self.memberships.setdefault(host.name, set()).discard(int(group))
+        self.multicast.leave(host, group)
+
+    def handle_control_packet(self, packet) -> None:
+        """IGMP ignores SIGMA special packets (incremental-deployment case)."""
+        return None
+
+
+class IgmpHostInterface:
+    """Host side of IGMP: emit join/leave reports toward the edge router."""
+
+    def __init__(self, host: Host) -> None:
+        if host.edge_router is None or host.control is None:
+            raise RuntimeError(
+                f"host {host.name} is not attached to an edge router; "
+                "attach it before creating an IGMP interface"
+            )
+        self.host = host
+        self.joined: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def join(self, group: GroupAddress) -> None:
+        """Send a membership report for ``group``."""
+        manager = self._manager()
+        self.joined.add(int(group))
+        self.host.control.send(
+            manager.handle_join,
+            self.host,
+            group,
+            size_bytes=IgmpGroupManager.REPORT_SIZE_BYTES,
+        )
+
+    def leave(self, group: GroupAddress) -> None:
+        """Send a leave report for ``group``."""
+        manager = self._manager()
+        self.joined.discard(int(group))
+        self.host.control.send(
+            manager.handle_leave,
+            self.host,
+            group,
+            size_bytes=IgmpGroupManager.REPORT_SIZE_BYTES,
+        )
+
+    def leave_all(self) -> None:
+        for value in list(self.joined):
+            self.leave(GroupAddress(value))
+
+    # ------------------------------------------------------------------
+    def _manager(self):
+        manager = self.host.edge_router.group_manager
+        if manager is None:
+            raise RuntimeError(
+                f"edge router {self.host.edge_router.name} has no group manager"
+            )
+        return manager
+
+
+def install_igmp(router: Router, multicast: MulticastRoutingService) -> IgmpGroupManager:
+    """Attach an IGMP group manager to an edge router and return it."""
+    return IgmpGroupManager(router, multicast)

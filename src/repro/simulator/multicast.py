@@ -1,0 +1,150 @@
+"""Multicast group membership and forwarding.
+
+The :class:`MulticastRoutingService` is the network-wide view of group
+membership: for each group it knows which hosts are currently entitled to
+receive the group's traffic.  Routers consult it to decide where to replicate
+an incoming multicast packet.  The distribution tree is derived from the
+unicast forwarding tables (the union of shortest paths toward the member
+hosts), which matches a source-specific tree on the paper's topologies.
+
+Membership changes are requested by edge routers — either their IGMP manager
+(unprotected baseline, any host join is honoured) or their SIGMA agent
+(protected system, joins require valid keys).  Joins take effect after a
+configurable *graft* latency and leaves after a *prune* latency, modelling the
+fact that IGMP/PIM signalling is not instantaneous; both default to small
+values so that, as in the paper, the access-control slot granularity (not the
+routing plane) dominates responsiveness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from .address import GroupAddress
+from .engine import Simulator
+from .link import Link
+from .node import Host, Router
+
+__all__ = ["MulticastRoutingService", "MembershipStats"]
+
+
+class MembershipStats:
+    """Counters of membership churn, used by tests and experiments."""
+
+    def __init__(self) -> None:
+        self.joins_requested = 0
+        self.joins_effective = 0
+        self.leaves_requested = 0
+        self.leaves_effective = 0
+
+
+class MulticastRoutingService:
+    """Tracks group membership and answers router forwarding queries."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        graft_delay_s: float = 0.02,
+        prune_delay_s: float = 0.02,
+    ) -> None:
+        if graft_delay_s < 0 or prune_delay_s < 0:
+            raise ValueError("graft/prune delays must be non-negative")
+        self.sim = sim
+        self.graft_delay_s = graft_delay_s
+        self.prune_delay_s = prune_delay_s
+        self._members: Dict[int, Set[Host]] = {}
+        #: Forwarding cache: (router name, group value) -> list of out links.
+        self._cache: Dict[tuple[str, int], List[Link]] = {}
+        self.stats = MembershipStats()
+
+    # ------------------------------------------------------------------
+    # membership queries
+    # ------------------------------------------------------------------
+    def members(self, group: GroupAddress) -> Set[Host]:
+        """Hosts currently receiving ``group`` (a copy; safe to mutate)."""
+        return set(self._members.get(int(group), set()))
+
+    def is_member(self, host: Host, group: GroupAddress) -> bool:
+        return host in self._members.get(int(group), set())
+
+    def groups_of(self, host: Host) -> List[GroupAddress]:
+        """All groups the host currently belongs to."""
+        return [
+            GroupAddress(value)
+            for value, members in self._members.items()
+            if host in members
+        ]
+
+    # ------------------------------------------------------------------
+    # membership changes
+    # ------------------------------------------------------------------
+    def join(self, host: Host, group: GroupAddress, immediate: bool = False) -> None:
+        """Add ``host`` to ``group`` after the graft latency."""
+        self.stats.joins_requested += 1
+        if immediate or self.graft_delay_s == 0:
+            self._do_join(host, group)
+        else:
+            self.sim.schedule(self.graft_delay_s, self._do_join, host, group)
+
+    def leave(self, host: Host, group: GroupAddress, immediate: bool = False) -> None:
+        """Remove ``host`` from ``group`` after the prune latency."""
+        self.stats.leaves_requested += 1
+        if immediate or self.prune_delay_s == 0:
+            self._do_leave(host, group)
+        else:
+            self.sim.schedule(self.prune_delay_s, self._do_leave, host, group)
+
+    def leave_all(self, host: Host, immediate: bool = True) -> None:
+        """Remove a host from every group (used at session teardown)."""
+        for group in self.groups_of(host):
+            self.leave(host, group, immediate=immediate)
+
+    def _do_join(self, host: Host, group: GroupAddress) -> None:
+        members = self._members.setdefault(int(group), set())
+        if host not in members:
+            members.add(host)
+            self.stats.joins_effective += 1
+            self._invalidate(group)
+
+    def _do_leave(self, host: Host, group: GroupAddress) -> None:
+        members = self._members.get(int(group))
+        if members and host in members:
+            members.remove(host)
+            self.stats.leaves_effective += 1
+            self._invalidate(group)
+
+    def _invalidate(self, group: GroupAddress) -> None:
+        value = int(group)
+        stale = [key for key in self._cache if key[1] == value]
+        for key in stale:
+            del self._cache[key]
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+    def out_links(self, router: Router, group: GroupAddress) -> List[Link]:
+        """Outgoing links on which ``router`` must replicate ``group`` traffic.
+
+        The answer is the deduplicated set of next-hop links from ``router``
+        toward every current member host, cached until membership changes.
+        """
+        key = (router.name, int(group))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        links: List[Link] = []
+        seen: set[int] = set()
+        for host in self._members.get(int(group), set()):
+            link = router.route_for(host.address)
+            if link is None:
+                continue
+            if id(link) not in seen:
+                seen.add(id(link))
+                links.append(link)
+        self._cache[key] = links
+        return links
+
+    # ------------------------------------------------------------------
+    def groups(self) -> Iterable[GroupAddress]:
+        """Every group with at least one member."""
+        return [GroupAddress(value) for value, members in self._members.items() if members]

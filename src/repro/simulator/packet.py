@@ -1,0 +1,155 @@
+"""Packet model.
+
+A :class:`Packet` is a plain record: headers are attributes, the payload is
+never materialised (only its size in bytes matters for link serialization and
+queueing).  Protocol-specific headers — TCP sequence numbers, FLID-DL slot
+numbers, DELTA component fields, SIGMA control messages — ride in the
+``headers`` dictionary so the forwarding plane stays protocol-agnostic, which
+is exactly the property Requirement 3 of the paper demands from the network.
+
+Packet sizes follow the paper's evaluation: data packets are 576 bytes in the
+protection/fairness experiments (§5.1) and 500 bytes in the overhead analysis
+(§5.4).  DELTA adds small per-packet fields whose size is tracked separately
+(``overhead_bits``) so measured overhead can be compared with the analytic
+model without perturbing the packet-level dynamics, mirroring how the paper
+reports overhead as a ratio of DELTA/SIGMA bits to data bits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .address import GroupAddress, NodeAddress
+
+__all__ = [
+    "Packet",
+    "PacketFactory",
+    "DEFAULT_DATA_PACKET_BYTES",
+]
+
+#: Default data packet size used throughout §5.1-§5.3 of the paper.
+DEFAULT_DATA_PACKET_BYTES = 576
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    Attributes
+    ----------
+    source:
+        Unicast address of the originating node.
+    destination:
+        Either a :class:`NodeAddress` (unicast) or :class:`GroupAddress`
+        (multicast).
+    size_bytes:
+        Total wire size used for serialization and queueing decisions.
+    protocol:
+        Short string tag identifying the owning protocol (``"tcp"``,
+        ``"flid"``, ``"cbr"``, ``"sigma"`` ...).  Purely informational for
+        monitors; routers never branch on it.
+    headers:
+        Free-form protocol headers.  DELTA fields (component, decrease) and
+        SIGMA control payloads are carried here.
+    overhead_bits:
+        Number of bits in the packet that are DELTA/SIGMA overhead rather
+        than application data; used by the measured-overhead accounting.
+    ecn:
+        Explicit congestion notification mark, set by routers when an
+        ECN-enabled queue is congested (used by the ECN DELTA variant).
+    created_at:
+        Simulated time at which the packet was created by its sender.
+    """
+
+    source: NodeAddress
+    destination: "NodeAddress | GroupAddress"
+    size_bytes: int
+    protocol: str = "data"
+    headers: dict[str, Any] = field(default_factory=dict)
+    overhead_bits: int = 0
+    ecn: bool = False
+    created_at: float = 0.0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    hop_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be positive (got {self.size_bytes})")
+
+    @property
+    def size_bits(self) -> int:
+        """Wire size in bits."""
+        return self.size_bytes * 8
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the packet is addressed to a multicast group."""
+        return isinstance(self.destination, GroupAddress)
+
+    def copy(self) -> "Packet":
+        """Return an independent copy (used when routers replicate packets).
+
+        The copy shares no mutable state with the original: the headers
+        dictionary is shallow-copied, which is sufficient because protocol
+        code treats header values as immutable once the packet is sent.
+        """
+        clone = Packet(
+            source=self.source,
+            destination=self.destination,
+            size_bytes=self.size_bytes,
+            protocol=self.protocol,
+            headers=dict(self.headers),
+            overhead_bits=self.overhead_bits,
+            ecn=self.ecn,
+            created_at=self.created_at,
+        )
+        clone.hop_count = self.hop_count
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Packet(#{self.uid} {self.protocol} {self.source}->{self.destination} "
+            f"{self.size_bytes}B)"
+        )
+
+
+class PacketFactory:
+    """Creates packets stamped with the current simulated time.
+
+    Senders hold a factory bound to the simulator clock so every packet's
+    ``created_at`` reflects its true send time, which end-to-end delay and
+    throughput monitors rely on.
+    """
+
+    def __init__(self, clock, default_size: int = DEFAULT_DATA_PACKET_BYTES) -> None:
+        """``clock`` is any object with a ``now`` attribute (usually the Simulator)."""
+        self._clock = clock
+        self._default_size = default_size
+
+    @property
+    def default_size(self) -> int:
+        return self._default_size
+
+    def make(
+        self,
+        source: NodeAddress,
+        destination: "NodeAddress | GroupAddress",
+        size_bytes: Optional[int] = None,
+        protocol: str = "data",
+        headers: Optional[dict[str, Any]] = None,
+        overhead_bits: int = 0,
+    ) -> Packet:
+        """Create a packet stamped with the current simulated time."""
+        return Packet(
+            source=source,
+            destination=destination,
+            size_bytes=self._default_size if size_bytes is None else size_bytes,
+            protocol=protocol,
+            headers=headers or {},
+            overhead_bits=overhead_bits,
+            created_at=self._clock.now,
+        )

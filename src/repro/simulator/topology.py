@@ -1,0 +1,269 @@
+"""Topology construction.
+
+``Network`` is the container that owns the simulator, the nodes, the links,
+the unicast routing computation and the multicast routing service.  On top of
+it, :class:`DumbbellNetwork` builds the single-bottleneck topology used
+throughout the paper's evaluation (§5.1):
+
+* every *session* gets its own sender host attached to the left-hand router
+  and its own receiver host(s) attached to the right-hand router;
+* the middle (bottleneck) link is shared by all sessions; its capacity is
+  normally ``fair_share × number_of_sessions``;
+* access links are 10 Mbps with 10 ms propagation delay, the bottleneck has a
+  20 ms delay, and every queue holds two bandwidth-delay products.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .address import GroupAddress, GroupAddressAllocator, NodeAddress
+from .engine import Simulator
+from .link import Link, default_buffer_bytes
+from .multicast import MulticastRoutingService
+from .node import ControlChannel, Host, Node, Router
+from .queues import DropTailQueue
+from .routing import compute_routes
+from .rng import RandomStreams
+
+__all__ = ["Network", "DumbbellNetwork", "DumbbellConfig"]
+
+
+class Network:
+    """A collection of nodes and links plus the shared services they need."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        seed: int = 0,
+        graft_delay_s: float = 0.02,
+        prune_delay_s: float = 0.02,
+    ) -> None:
+        self.sim = sim or Simulator()
+        self.random = RandomStreams(seed)
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[Link] = []
+        self.multicast = MulticastRoutingService(
+            self.sim, graft_delay_s=graft_delay_s, prune_delay_s=prune_delay_s
+        )
+        self.groups = GroupAddressAllocator()
+        self._next_address = itertools.count(1)
+        self._routes_stale = True
+
+    # ------------------------------------------------------------------
+    # node creation
+    # ------------------------------------------------------------------
+    def _allocate_address(self) -> NodeAddress:
+        return NodeAddress(next(self._next_address))
+
+    def add_host(self, name: str) -> Host:
+        """Create a host with a fresh unicast address."""
+        if name in self.nodes:
+            raise ValueError(f"node name {name!r} already in use")
+        host = Host(self.sim, name, self._allocate_address())
+        self.nodes[name] = host
+        self._routes_stale = True
+        return host
+
+    def add_router(self, name: str) -> Router:
+        """Create a router with a fresh unicast address."""
+        if name in self.nodes:
+            raise ValueError(f"node name {name!r} already in use")
+        router = Router(self.sim, name, self._allocate_address())
+        router.multicast_service = self.multicast
+        self.nodes[name] = router
+        self._routes_stale = True
+        return router
+
+    # ------------------------------------------------------------------
+    # link creation
+    # ------------------------------------------------------------------
+    def duplex_link(
+        self,
+        a: Node,
+        b: Node,
+        bandwidth_bps: float,
+        delay_s: float,
+        buffer_bytes: Optional[int] = None,
+        buffer_bdp_multiple: float = 2.0,
+    ) -> Tuple[Link, Link]:
+        """Connect ``a`` and ``b`` with two simplex links (one per direction)."""
+        if buffer_bytes is None:
+            buffer_bytes = default_buffer_bytes(bandwidth_bps, delay_s, buffer_bdp_multiple)
+        forward = Link(
+            self.sim, a, b, bandwidth_bps, delay_s, DropTailQueue(buffer_bytes)
+        )
+        backward = Link(
+            self.sim, b, a, bandwidth_bps, delay_s, DropTailQueue(buffer_bytes)
+        )
+        a.attach_link(forward)
+        b.attach_link(backward)
+        self.links.extend([forward, backward])
+        self._routes_stale = True
+        return forward, backward
+
+    def attach_host(
+        self,
+        host: Host,
+        edge_router: Router,
+        bandwidth_bps: float,
+        delay_s: float,
+        buffer_bytes: Optional[int] = None,
+    ) -> Tuple[Link, Link]:
+        """Connect a host to its edge router and wire up the control channel."""
+        links = self.duplex_link(host, edge_router, bandwidth_bps, delay_s, buffer_bytes)
+        host.edge_router = edge_router
+        host.control = ControlChannel(self.sim, delay_s)
+        return links
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def build_routes(self) -> None:
+        """(Re)compute unicast forwarding tables on every node."""
+        compute_routes(self.nodes.values())
+        # Hosts keep a default route through their only uplink so multicast
+        # sends do not need a routing entry per group.
+        for node in self.nodes.values():
+            if isinstance(node, Host) and node.links:
+                node.default_route = next(iter(node.links.values()))
+        self._routes_stale = False
+
+    def ensure_routes(self) -> None:
+        if self._routes_stale:
+            self.build_routes()
+
+    # ------------------------------------------------------------------
+    # convenience lookups
+    # ------------------------------------------------------------------
+    def host(self, name: str) -> Host:
+        node = self.nodes[name]
+        if not isinstance(node, Host):
+            raise TypeError(f"{name} is a {type(node).__name__}, not a Host")
+        return node
+
+    def router(self, name: str) -> Router:
+        node = self.nodes[name]
+        if not isinstance(node, Router):
+            raise TypeError(f"{name} is a {type(node).__name__}, not a Router")
+        return node
+
+    def find_link(self, src: Node, dst: Node) -> Link:
+        for link in self.links:
+            if link.src is src and link.dst is dst:
+                return link
+        raise KeyError(f"no link from {src.name} to {dst.name}")
+
+    def allocate_groups(self, count: int) -> List[GroupAddress]:
+        """Allocate a block of multicast group addresses for a session."""
+        return self.groups.allocate_block(count)
+
+    def run(self, until: float) -> None:
+        """Build routes if needed and run the simulation until ``until``."""
+        self.ensure_routes()
+        self.sim.run(until=until)
+
+
+@dataclass
+class DumbbellConfig:
+    """Parameters of the §5.1 single-bottleneck topology."""
+
+    bottleneck_bandwidth_bps: float = 1_000_000.0
+    bottleneck_delay_s: float = 0.020
+    access_bandwidth_bps: float = 10_000_000.0
+    access_delay_s: float = 0.010
+    buffer_bdp_multiple: float = 2.0
+    seed: int = 0
+    graft_delay_s: float = 0.02
+    prune_delay_s: float = 0.02
+
+    @property
+    def path_rtt_s(self) -> float:
+        """Round-trip propagation delay of the three-link path (§5.1)."""
+        return 2.0 * (2.0 * self.access_delay_s + self.bottleneck_delay_s)
+
+    def bottleneck_buffer_bytes(self) -> int:
+        """Bottleneck queue sized at ``buffer_bdp_multiple`` path BDPs.
+
+        The paper sizes buffers at two bandwidth-delay products; using the
+        path round-trip time (80 ms in the default topology) rather than the
+        single link's propagation delay gives the queue headroom NS-2 runs
+        exhibit and keeps the smallest Figure 8 configurations (250 Kbps
+        bottleneck) from degenerating to a two-packet buffer.
+        """
+        bdp_bytes = self.bottleneck_bandwidth_bps * self.path_rtt_s / 8.0
+        return max(int(self.buffer_bdp_multiple * bdp_bytes), 4 * 1600)
+
+    @classmethod
+    def for_fair_share(
+        cls, sessions: int, fair_share_bps: float = 250_000.0, **overrides
+    ) -> "DumbbellConfig":
+        """Bottleneck sized so each of ``sessions`` flows gets ``fair_share_bps``."""
+        if sessions <= 0:
+            raise ValueError("sessions must be positive")
+        config = cls(bottleneck_bandwidth_bps=fair_share_bps * sessions)
+        for key, value in overrides.items():
+            setattr(config, key, value)
+        return config
+
+
+class DumbbellNetwork(Network):
+    """The paper's evaluation topology: left router — bottleneck — right router.
+
+    Senders attach on the left, receivers on the right; every session's path
+    is therefore three links long with the bottleneck in the middle, exactly
+    as described in §5.1.
+    """
+
+    def __init__(self, config: Optional[DumbbellConfig] = None) -> None:
+        self.config = config or DumbbellConfig()
+        super().__init__(
+            seed=self.config.seed,
+            graft_delay_s=self.config.graft_delay_s,
+            prune_delay_s=self.config.prune_delay_s,
+        )
+        self.left = self.add_router("left")
+        self.right = self.add_router("right")
+        self.bottleneck, self.bottleneck_reverse = self.duplex_link(
+            self.left,
+            self.right,
+            self.config.bottleneck_bandwidth_bps,
+            self.config.bottleneck_delay_s,
+            buffer_bytes=self.config.bottleneck_buffer_bytes(),
+        )
+        self._sender_count = 0
+        self._receiver_count = 0
+
+    # ------------------------------------------------------------------
+    def add_sender(self, name: Optional[str] = None, access_delay_s: Optional[float] = None) -> Host:
+        """Attach a traffic source to the left-hand router."""
+        self._sender_count += 1
+        host = self.add_host(name or f"sender{self._sender_count}")
+        self.attach_host(
+            host,
+            self.left,
+            self.config.access_bandwidth_bps,
+            self.config.access_delay_s if access_delay_s is None else access_delay_s,
+        )
+        return host
+
+    def add_receiver(
+        self, name: Optional[str] = None, access_delay_s: Optional[float] = None
+    ) -> Host:
+        """Attach a traffic sink to the right-hand (edge) router."""
+        self._receiver_count += 1
+        host = self.add_host(name or f"receiver{self._receiver_count}")
+        self.attach_host(
+            host,
+            self.right,
+            self.config.access_bandwidth_bps,
+            self.config.access_delay_s if access_delay_s is None else access_delay_s,
+        )
+        return host
+
+    @property
+    def edge_router(self) -> Router:
+        """The receiver-side edge router, where group access control lives."""
+        return self.right

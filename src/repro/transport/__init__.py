@@ -1,0 +1,19 @@
+"""Unicast transport protocols used as competing traffic in the evaluation.
+
+TCP Reno (the well-behaved unicast competition of Figures 1, 7 and 8(d)) and
+constant-bit-rate / on-off CBR sources (the background and burst traffic of
+Figures 8(d) and 8(e)).
+"""
+
+from .cbr import CbrSink, CbrSource, OnOffCbrSource
+from .tcp import ACK_SIZE_BYTES, TcpConnection, TcpRenoSender, TcpSink
+
+__all__ = [
+    "CbrSink",
+    "CbrSource",
+    "OnOffCbrSource",
+    "ACK_SIZE_BYTES",
+    "TcpConnection",
+    "TcpRenoSender",
+    "TcpSink",
+]

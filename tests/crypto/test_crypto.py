@@ -1,0 +1,178 @@
+"""Tests of the crypto substrate: nonces, XOR key algebra and Shamir sharing."""
+
+import random
+
+import pytest
+
+from repro.crypto import (
+    KeyAccumulator,
+    NonceGenerator,
+    ShamirSecretSharing,
+    Share,
+    combine_levels,
+    xor_fold,
+)
+
+
+class TestNonceGenerator:
+    def test_values_fit_width(self):
+        gen = NonceGenerator(bits=16, rng=random.Random(0))
+        assert all(0 <= gen.next() < 2**16 for _ in range(100))
+
+    def test_deterministic_with_seed(self):
+        a = NonceGenerator(bits=16, rng=random.Random(42))
+        b = NonceGenerator(bits=16, rng=random.Random(42))
+        assert a.batch(10) == b.batch(10)
+
+    def test_nonzero_variant(self):
+        gen = NonceGenerator(bits=4, rng=random.Random(0))
+        assert all(gen.next_nonzero() != 0 for _ in range(50))
+
+    def test_counts_generated(self):
+        gen = NonceGenerator(bits=8, rng=random.Random(0))
+        gen.batch(7)
+        assert gen.generated == 7
+
+    def test_mask_and_space(self):
+        gen = NonceGenerator(bits=8)
+        assert gen.mask == 255
+        assert gen.space_size == 256
+        assert gen.fits(255)
+        assert not gen.fits(256)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            NonceGenerator(bits=0)
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(ValueError):
+            NonceGenerator().batch(-1)
+
+
+class TestXorFold:
+    def test_empty_is_zero(self):
+        assert xor_fold([]) == 0
+
+    def test_self_inverse(self):
+        values = [0x1234, 0xABCD, 0x0F0F]
+        assert xor_fold(values + values) == 0
+
+    def test_order_independent(self):
+        values = [1, 2, 3, 4, 5]
+        assert xor_fold(values) == xor_fold(reversed(values))
+
+    def test_combine_levels_is_cumulative(self):
+        per_level = [[1, 2], [4], [8, 16]]
+        assert combine_levels(per_level, 1) == 3
+        assert combine_levels(per_level, 2) == 3 ^ 4
+        assert combine_levels(per_level, 3) == 3 ^ 4 ^ 24
+
+    def test_combine_levels_bounds(self):
+        with pytest.raises(ValueError):
+            combine_levels([[1]], 2)
+        with pytest.raises(ValueError):
+            combine_levels([[1]], 0)
+
+
+class TestKeyAccumulator:
+    def test_components_fold_to_target(self):
+        rng = random.Random(1)
+        acc = KeyAccumulator(target_key=0xBEEF, bits=16)
+        components = [acc.emit_component(rng.getrandbits(16)) for _ in range(9)]
+        components.append(acc.closing_component())
+        assert xor_fold(components) == 0xBEEF
+
+    def test_single_packet_slot(self):
+        acc = KeyAccumulator(target_key=0x1234, bits=16)
+        assert acc.closing_component() == 0x1234
+
+    def test_closed_accumulator_rejects_more(self):
+        acc = KeyAccumulator(target_key=1, bits=16)
+        acc.closing_component()
+        with pytest.raises(RuntimeError):
+            acc.emit_component(5)
+        with pytest.raises(RuntimeError):
+            acc.closing_component()
+
+    def test_target_must_fit(self):
+        with pytest.raises(ValueError):
+            KeyAccumulator(target_key=0x1_0000, bits=16)
+
+    def test_nonce_must_fit(self):
+        acc = KeyAccumulator(target_key=0, bits=8)
+        with pytest.raises(ValueError):
+            acc.emit_component(256)
+
+    def test_running_value_tracks_emissions(self):
+        acc = KeyAccumulator(target_key=0xFF, bits=8)
+        acc.emit_component(0x0F)
+        acc.emit_component(0xF0)
+        assert acc.running_value == 0xFF
+        acc.closing_component()
+        assert acc.running_value == 0xFF
+        assert acc.closed
+
+
+class TestShamir:
+    def test_reconstruct_with_exact_threshold(self):
+        sharer = ShamirSecretSharing(threshold=3, rng=random.Random(0))
+        shares = sharer.split(0xCAFE, 6)
+        assert sharer.reconstruct(shares[:3]) == 0xCAFE
+
+    def test_reconstruct_with_any_subset(self):
+        sharer = ShamirSecretSharing(threshold=3, rng=random.Random(0))
+        shares = sharer.split(12345, 7)
+        assert sharer.reconstruct([shares[1], shares[4], shares[6]]) == 12345
+
+    def test_insufficient_shares_raise(self):
+        sharer = ShamirSecretSharing(threshold=4, rng=random.Random(0))
+        shares = sharer.split(99, 6)
+        with pytest.raises(ValueError):
+            sharer.reconstruct(shares[:3])
+
+    def test_duplicate_shares_do_not_count_twice(self):
+        sharer = ShamirSecretSharing(threshold=3, rng=random.Random(0))
+        shares = sharer.split(7, 5)
+        with pytest.raises(ValueError):
+            sharer.reconstruct([shares[0], shares[0], shares[0]])
+
+    def test_wrong_subset_below_threshold_learns_nothing(self):
+        # With only threshold-1 shares every candidate secret remains possible;
+        # here we simply verify reconstruction is refused.
+        sharer = ShamirSecretSharing(threshold=2, rng=random.Random(0))
+        shares = sharer.split(42, 4)
+        with pytest.raises(ValueError):
+            sharer.reconstruct(shares[:1])
+
+    def test_extra_shares_are_harmless(self):
+        sharer = ShamirSecretSharing(threshold=2, rng=random.Random(0))
+        shares = sharer.split(2024, 5)
+        assert sharer.reconstruct(shares) == 2024
+
+    def test_secret_out_of_range_rejected(self):
+        sharer = ShamirSecretSharing(threshold=2)
+        with pytest.raises(ValueError):
+            sharer.split(sharer.prime, 3)
+
+    def test_too_few_shares_requested_rejected(self):
+        sharer = ShamirSecretSharing(threshold=3)
+        with pytest.raises(ValueError):
+            sharer.split(1, 2)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ShamirSecretSharing(threshold=0)
+
+    def test_loss_threshold_helper(self):
+        sharer = ShamirSecretSharing(threshold=2)
+        # RLM's 25 % threshold over 20 packets -> need at least 15 packets.
+        assert sharer.minimum_packets_for_loss_threshold(20, 0.25) == 15
+        assert sharer.minimum_packets_for_loss_threshold(1, 0.99) == 1
+        with pytest.raises(ValueError):
+            sharer.minimum_packets_for_loss_threshold(0, 0.1)
+        with pytest.raises(ValueError):
+            sharer.minimum_packets_for_loss_threshold(10, 1.0)
+
+    def test_share_is_point_value_pair(self):
+        share = Share(x=3, y=17)
+        assert share.x == 3 and share.y == 17

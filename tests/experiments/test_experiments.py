@@ -1,0 +1,125 @@
+"""Tests of the experiment configuration, scenario builder and figure modules.
+
+Experiment smoke tests use short durations; the full paper-scale runs live in
+the benchmark harness.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    PAPER_DEFAULTS,
+    Scenario,
+    figure9_model,
+    run_group_count_sweep,
+    run_measured_overhead,
+    run_slot_duration_sweep,
+)
+
+
+class TestExperimentConfig:
+    def test_paper_defaults_match_section_5_1(self):
+        cfg = PAPER_DEFAULTS
+        assert cfg.fair_share_bps == 250_000.0
+        assert cfg.group_count == 10
+        assert cfg.base_rate_bps == 100_000.0
+        assert cfg.rate_factor == 1.5
+        assert cfg.packet_bytes == 576
+        assert cfg.flid_dl_slot_s == 0.5
+        assert cfg.flid_ds_slot_s == 0.25
+        assert cfg.duration_s == 200.0
+
+    def test_dumbbell_scales_with_sessions(self):
+        assert PAPER_DEFAULTS.dumbbell(4).bottleneck_bandwidth_bps == pytest.approx(1_000_000.0)
+        assert PAPER_DEFAULTS.dumbbell(1).bottleneck_bandwidth_bps == pytest.approx(250_000.0)
+
+    def test_dumbbell_explicit_bottleneck(self):
+        cfg = PAPER_DEFAULTS.dumbbell(3, bottleneck_bps=2_000_000.0)
+        assert cfg.bottleneck_bandwidth_bps == 2_000_000.0
+
+    def test_session_spec_slot_duration_depends_on_protection(self):
+        assert PAPER_DEFAULTS.session_spec("a", protected=False).slot_duration_s == 0.5
+        assert PAPER_DEFAULTS.session_spec("a", protected=True).slot_duration_s == 0.25
+
+    def test_with_duration_and_seed(self):
+        cfg = PAPER_DEFAULTS.with_duration(30.0).with_seed(7)
+        assert cfg.duration_s == 30.0
+        assert cfg.seed == 7
+        assert PAPER_DEFAULTS.duration_s == 200.0  # frozen original untouched
+
+
+class TestScenarioBuilder:
+    def test_unprotected_scenario_installs_igmp(self):
+        scenario = Scenario(PAPER_DEFAULTS, protected=False, expected_sessions=1)
+        assert scenario.sigma is None
+        assert scenario.network.right.group_manager is not None
+
+    def test_protected_scenario_installs_sigma(self):
+        scenario = Scenario(PAPER_DEFAULTS, protected=True, expected_sessions=1)
+        assert scenario.sigma is not None
+        assert scenario.network.right.group_manager is scenario.sigma
+
+    def test_add_multicast_session_creates_sender_and_receivers(self):
+        scenario = Scenario(PAPER_DEFAULTS, protected=False, expected_sessions=1)
+        session = scenario.add_multicast_session(receivers=3)
+        assert len(session.receivers) == 3
+        assert session.spec.group_count == 10
+
+    def test_sessions_get_distinct_group_addresses(self):
+        scenario = Scenario(PAPER_DEFAULTS, protected=False, expected_sessions=2)
+        first = scenario.add_multicast_session()
+        second = scenario.add_multicast_session()
+        overlap = set(map(int, first.spec.group_addresses)) & set(
+            map(int, second.spec.group_addresses)
+        )
+        assert not overlap
+
+    def test_short_run_produces_throughput(self):
+        config = PAPER_DEFAULTS.with_duration(10.0)
+        scenario = Scenario(config, protected=False, expected_sessions=1)
+        scenario.add_multicast_session()
+        scenario.run()
+        rates = scenario.multicast_average_kbps(2.0, 10.0)
+        assert rates[0] > 50.0
+
+    def test_tcp_and_cbr_can_join_the_mix(self):
+        config = PAPER_DEFAULTS.with_duration(8.0)
+        scenario = Scenario(config, protected=False, expected_sessions=2)
+        scenario.add_multicast_session()
+        scenario.add_tcp_connection()
+        scenario.add_onoff_cbr(rate_bps=50_000.0)
+        scenario.run()
+        assert scenario.tcp_average_kbps(2.0, 8.0)[0] > 0.0
+
+
+class TestFigure9:
+    def test_group_sweep_covers_paper_range(self):
+        result = run_group_count_sweep()
+        assert [p.parameter for p in result.points][0] == 2.0
+        assert result.points[-1].parameter == 20.0
+
+    def test_overhead_within_paper_bounds(self):
+        groups = run_group_count_sweep()
+        slots = run_slot_duration_sweep()
+        assert groups.max_delta_percent < 1.0
+        assert groups.max_sigma_percent < 0.8
+        assert slots.max_delta_percent < 1.0
+        assert slots.max_sigma_percent < 0.8
+
+    def test_sigma_overhead_falls_with_longer_slots(self):
+        result = run_slot_duration_sweep(durations_s=(0.2, 1.0))
+        assert result.points[0].sigma_percent > result.points[-1].sigma_percent
+
+    def test_figure9_model_parameters(self):
+        model = figure9_model()
+        assert model.data_bits_per_packet == 4000
+        assert model.cumulative_rate_bps == 4_000_000.0
+        assert model.key_bits == 16
+
+    def test_measured_overhead_close_to_model(self):
+        result = run_measured_overhead(duration_s=6.0)
+        assert result.data_bits > 0
+        # The measured DELTA overhead is a per-packet constant, so it should
+        # be within a factor of two of the closed-form model even on a short run.
+        assert 0.3 < result.delta_within_factor < 3.0
+        assert result.sigma_percent < 2.0

@@ -1,0 +1,123 @@
+"""Tests of the FEC erasure codes used by SIGMA."""
+
+import random
+
+import pytest
+
+from repro.fec import ErasureCode, FecConfig, RepetitionCode
+
+
+class TestFecConfig:
+    def test_expansion_factor_for_half_loss(self):
+        assert FecConfig(0.5).expansion_factor == pytest.approx(2.0)
+
+    def test_zero_tolerance_is_no_expansion(self):
+        assert FecConfig(0.0).expansion_factor == pytest.approx(1.0)
+
+    def test_coded_symbol_count(self):
+        assert FecConfig(0.5).coded_symbols(10) == 20
+        assert FecConfig(0.25).coded_symbols(9) == 12
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            FecConfig(1.0)
+        with pytest.raises(ValueError):
+            FecConfig(-0.1)
+
+    def test_invalid_source_count(self):
+        with pytest.raises(ValueError):
+            FecConfig().coded_symbols(0)
+
+
+class TestErasureCode:
+    def test_systematic_prefix(self):
+        code = ErasureCode()
+        source = [10, 20, 30]
+        coded = code.encode(source)
+        assert [value for _, value in coded[:3]] == source
+
+    def test_decode_without_loss(self):
+        code = ErasureCode()
+        source = [7, 8, 9, 10]
+        assert code.decode(code.encode(source), len(source)) == source
+
+    def test_decode_from_parity_only(self):
+        code = ErasureCode()
+        source = [101, 202, 303]
+        coded = code.encode(source, coded_count=6)
+        assert code.decode(coded[3:], len(source)) == source
+
+    def test_decode_from_any_half(self):
+        code = ErasureCode(FecConfig(0.5))
+        source = list(range(1, 11))
+        coded = code.encode(source)
+        rng = random.Random(3)
+        survivors = rng.sample(coded, len(source))
+        assert code.decode(survivors, len(source)) == source
+
+    def test_too_much_loss_raises(self):
+        code = ErasureCode(FecConfig(0.5))
+        source = list(range(5))
+        coded = code.encode(source)
+        with pytest.raises(ValueError):
+            code.decode(coded[:4], len(source))
+
+    def test_duplicate_symbols_do_not_help(self):
+        code = ErasureCode()
+        source = [5, 6, 7]
+        coded = code.encode(source, coded_count=6)
+        duplicated = [coded[0]] * 5
+        with pytest.raises(ValueError):
+            code.decode(duplicated, len(source))
+
+    def test_coded_count_below_source_rejected(self):
+        code = ErasureCode()
+        with pytest.raises(ValueError):
+            code.encode([1, 2, 3], coded_count=2)
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ValueError):
+            ErasureCode().encode([])
+
+    def test_symbol_out_of_field_rejected(self):
+        code = ErasureCode()
+        with pytest.raises(ValueError):
+            code.encode([code.prime])
+
+    def test_large_announcement_roundtrip(self):
+        """The size SIGMA actually uses: ~42 symbols expanded 2x."""
+        code = ErasureCode(FecConfig(0.5))
+        rng = random.Random(11)
+        source = [rng.getrandbits(32) for _ in range(42)]
+        coded = code.encode(source)
+        assert len(coded) == 84
+        survivors = rng.sample(coded, 42)
+        assert code.decode(survivors, 42) == source
+
+    def test_overhead_bits(self):
+        assert ErasureCode(FecConfig(0.5)).overhead_bits(100) == 200
+
+
+class TestRepetitionCode:
+    def test_roundtrip(self):
+        code = RepetitionCode(copies=2)
+        source = [1, 2, 3]
+        assert code.decode(code.encode(source), 3) == source
+
+    def test_missing_symbol_fails(self):
+        code = RepetitionCode(copies=1)
+        coded = code.encode([1, 2, 3])
+        with pytest.raises(ValueError):
+            code.decode(coded[:2], 3)
+
+    def test_survives_loss_of_one_copy(self):
+        code = RepetitionCode(copies=2)
+        coded = code.encode([9, 8, 7])
+        assert code.decode(coded[3:], 3) == [9, 8, 7]
+
+    def test_expansion_factor(self):
+        assert RepetitionCode(copies=3).expansion_factor == 3.0
+
+    def test_invalid_copies(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(copies=0)

@@ -1,0 +1,208 @@
+"""Tests of the discrete-event engine."""
+
+import pytest
+
+from repro.simulator.engine import PeriodicTimer, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_simultaneous_events_run_in_fifo_order(self):
+        sim = Simulator()
+        order = []
+        for label in ("a", "b", "c"):
+            sim.schedule(1.0, order.append, label)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+        assert sim.now == 3.5
+
+    def test_schedule_with_args_and_kwargs(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda a, b=0: seen.append((a, b)), 1, b=2)
+        sim.run()
+        assert seen == [(1, 2)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_zero_delay_runs_after_current_event(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.0, lambda: order.append("nested"))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "nested"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append("x"))
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("keep"))
+        cancelled = sim.schedule(1.0, lambda: seen.append("drop"))
+        cancelled.cancel()
+        sim.run()
+        assert seen == ["keep"]
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(5.0, lambda: seen.append(5))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+
+    def test_run_until_executes_events_at_boundary(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run(until=2.0)
+        assert seen == [2]
+
+    def test_run_continues_from_previous_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(3.0, lambda: seen.append(3))
+        sim.run(until=2.0)
+        sim.run(until=4.0)
+        assert seen == [1, 3]
+
+    def test_run_advances_clock_to_until_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_max_events_caps_execution(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.schedule(float(i + 1), seen.append, i)
+        sim.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run()
+        assert seen[0] == 1
+        assert 2 not in seen
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+    def test_step_returns_none_when_empty(self):
+        assert Simulator().step() is None
+
+    def test_clear_drops_pending_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.clear()
+        sim.run()
+        assert seen == []
+
+
+class TestPeriodicTimer:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_first_delay_override(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now), first_delay=0.25)
+        timer.start()
+        sim.run(until=2.5)
+        assert ticks == [0.25, 1.25, 2.25]
+
+    def test_stop_prevents_future_firings(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            PeriodicTimer(Simulator(), 0.0, lambda: None)
+
+    def test_reschedule_changes_interval(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.schedule(1.5, timer.reschedule, 2.0)
+        sim.run(until=6.0)
+        assert ticks == [1.0, 2.0, 4.0, 6.0]
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        timer.start()
+        sim.run(until=2.0)
+        assert ticks == [1.0, 2.0]

@@ -1,0 +1,190 @@
+"""Tests of drop-tail queues and point-to-point links."""
+
+import pytest
+
+from repro.simulator.address import NodeAddress
+from repro.simulator.engine import Simulator
+from repro.simulator.link import Link, default_buffer_bytes
+from repro.simulator.node import Host
+from repro.simulator.packet import Packet
+from repro.simulator.queues import DropTailQueue, ECNMarkingQueue
+
+
+def make_packet(size=500, src=1, dst=2):
+    return Packet(source=NodeAddress(src), destination=NodeAddress(dst), size_bytes=size)
+
+
+class TestDropTailQueue:
+    def test_accepts_until_capacity(self):
+        queue = DropTailQueue(capacity_bytes=1000)
+        assert queue.enqueue(make_packet(400))
+        assert queue.enqueue(make_packet(400))
+        assert not queue.enqueue(make_packet(400))
+        assert queue.stats.dropped_packets == 1
+
+    def test_fifo_order(self):
+        queue = DropTailQueue(capacity_bytes=10_000)
+        first, second = make_packet(), make_packet()
+        queue.enqueue(first)
+        queue.enqueue(second)
+        assert queue.dequeue() is first
+        assert queue.dequeue() is second
+
+    def test_dequeue_empty_returns_none(self):
+        assert DropTailQueue(1000).dequeue() is None
+
+    def test_byte_accounting(self):
+        queue = DropTailQueue(capacity_bytes=2000)
+        queue.enqueue(make_packet(500))
+        queue.enqueue(make_packet(300))
+        assert queue.queued_bytes == 800
+        queue.dequeue()
+        assert queue.queued_bytes == 300
+
+    def test_occupancy_fraction(self):
+        queue = DropTailQueue(capacity_bytes=1000)
+        queue.enqueue(make_packet(500))
+        assert queue.occupancy() == pytest.approx(0.5)
+
+    def test_conservation_invariant(self):
+        queue = DropTailQueue(capacity_bytes=1500)
+        for _ in range(5):
+            queue.enqueue(make_packet(500))
+        queue.dequeue()
+        assert queue.stats.conservation_holds(currently_queued=len(queue))
+
+    def test_peek_does_not_remove(self):
+        queue = DropTailQueue(2000)
+        packet = make_packet()
+        queue.enqueue(packet)
+        assert queue.peek() is packet
+        assert len(queue) == 1
+
+    def test_clear_counts_drops(self):
+        queue = DropTailQueue(5000)
+        for _ in range(3):
+            queue.enqueue(make_packet())
+        queue.clear()
+        assert queue.is_empty
+        assert queue.stats.dropped_packets == 3
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+
+class TestEcnQueue:
+    def test_marks_above_threshold(self):
+        queue = ECNMarkingQueue(capacity_bytes=2000, mark_threshold=0.5)
+        first = make_packet(1100)
+        second = make_packet(800)
+        queue.enqueue(first)
+        queue.enqueue(second)
+        assert not first.ecn
+        assert second.ecn
+        assert queue.stats.marked_packets == 1
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ECNMarkingQueue(1000, mark_threshold=0.0)
+
+
+class TestDefaultBuffer:
+    def test_two_bdp_sizing(self):
+        # 1 Mbps * 20 ms = 2500 bytes BDP; twice that is 5000 bytes.
+        assert default_buffer_bytes(1_000_000, 0.020) == 5000
+
+    def test_floor_applies_to_tiny_links(self):
+        assert default_buffer_bytes(10_000, 0.001) >= 1600
+
+
+class _Recorder(Host):
+    """Host that records packet arrival times."""
+
+    def __init__(self, sim, name, address):
+        super().__init__(sim, name, address)
+        self.arrivals = []
+
+    def receive(self, packet, link):
+        super().receive(packet, link)
+        self.arrivals.append((self.sim.now, packet))
+
+
+def make_link(bandwidth=1_000_000.0, delay=0.01, capacity=100_000):
+    sim = Simulator()
+    src = Host(sim, "src", NodeAddress(1))
+    dst = _Recorder(sim, "dst", NodeAddress(2))
+    link = Link(sim, src, dst, bandwidth, delay, DropTailQueue(capacity))
+    src.attach_link(link)
+    return sim, src, dst, link
+
+
+class TestLink:
+    def test_delivery_time_is_serialization_plus_propagation(self):
+        sim, _, dst, link = make_link(bandwidth=1_000_000.0, delay=0.01)
+        packet = make_packet(size=1250)  # 10,000 bits -> 10 ms serialization
+        link.send(packet)
+        sim.run()
+        assert len(dst.arrivals) == 1
+        assert dst.arrivals[0][0] == pytest.approx(0.02)
+
+    def test_back_to_back_packets_serialize_sequentially(self):
+        sim, _, dst, link = make_link(bandwidth=1_000_000.0, delay=0.0)
+        for _ in range(3):
+            link.send(make_packet(size=1250))
+        sim.run()
+        times = [t for t, _ in dst.arrivals]
+        assert times == pytest.approx([0.01, 0.02, 0.03])
+
+    def test_queue_overflow_drops(self):
+        sim, _, dst, link = make_link(bandwidth=100_000.0, delay=0.0, capacity=1000)
+        results = [link.send(make_packet(size=600)) for _ in range(4)]
+        sim.run()
+        # First packet starts transmitting immediately (dequeued), then the
+        # queue holds at most one more 600-byte packet.
+        assert results[0] and results[1]
+        assert not all(results)
+        assert link.queue.stats.dropped_packets >= 1
+
+    def test_on_drop_hook_invoked(self):
+        sim, _, dst, link = make_link(bandwidth=100_000.0, delay=0.0, capacity=700)
+        dropped = []
+        link.on_drop = dropped.append
+        for _ in range(4):
+            link.send(make_packet(size=600))
+        sim.run()
+        assert dropped, "expected at least one dropped packet"
+
+    def test_stats_count_transmissions(self):
+        sim, _, dst, link = make_link()
+        for _ in range(5):
+            link.send(make_packet())
+        sim.run()
+        assert link.stats.transmitted_packets == 5
+        assert link.stats.delivered_packets == 5
+        assert link.stats.transmitted_bytes == 5 * 500
+
+    def test_hop_count_increments(self):
+        sim, _, dst, link = make_link()
+        packet = make_packet()
+        link.send(packet)
+        sim.run()
+        assert dst.arrivals[0][1].hop_count == 1
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator()
+        a = Host(sim, "a", NodeAddress(1))
+        b = Host(sim, "b", NodeAddress(2))
+        with pytest.raises(ValueError):
+            Link(sim, a, b, 0.0, 0.01)
+        with pytest.raises(ValueError):
+            Link(sim, a, b, 1e6, -0.01)
+
+    def test_throughput_matches_bandwidth(self):
+        sim, _, dst, link = make_link(bandwidth=1_000_000.0, delay=0.0, capacity=10_000_000)
+        count = 100
+        for _ in range(count):
+            link.send(make_packet(size=1250))
+        sim.run()
+        # 100 packets * 10,000 bits at 1 Mbps should take 1 second.
+        assert dst.arrivals[-1][0] == pytest.approx(1.0)
