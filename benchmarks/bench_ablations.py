@@ -25,7 +25,7 @@ from repro.simulator.engine import Simulator
 
 
 @pytest.mark.benchmark(group="ablation-keys")
-def test_ablation_shared_vs_independent_components(benchmark):
+def test_ablation_shared_vs_independent_components(benchmark, bench_record):
     """Per-packet DELTA bits with shared components vs one component per level."""
 
     def run():
@@ -58,11 +58,15 @@ def test_ablation_shared_vs_independent_components(benchmark):
             [("shared components (paper)", round(shared, 3)), ("independent per-level keys", round(independent, 3))],
         )
     )
+    bench_record(
+        {"shared_percent": shared, "independent_percent": independent},
+        benchmark=benchmark,
+    )
     assert shared < independent
 
 
 @pytest.mark.benchmark(group="ablation-fec")
-def test_ablation_erasure_vs_repetition(benchmark):
+def test_ablation_erasure_vs_repetition(benchmark, bench_record):
     """Decode success of MDS coding vs repetition at the same 2x expansion."""
 
     def run(trials=300, loss=0.5, symbols=42):
@@ -94,11 +98,15 @@ def test_ablation_erasure_vs_repetition(benchmark):
             [("MDS erasure (paper)", round(erasure_rate, 3)), ("repetition x2", round(repetition_rate, 3))],
         )
     )
+    bench_record(
+        {"erasure_success": erasure_rate, "repetition_success": repetition_rate},
+        benchmark=benchmark,
+    )
     assert erasure_rate > repetition_rate
 
 
 @pytest.mark.benchmark(group="ablation-threshold")
-def test_ablation_threshold_scheme_overhead(benchmark):
+def test_ablation_threshold_scheme_overhead(benchmark, bench_record):
     """Shamir-based threshold DELTA costs far more per packet than XOR DELTA."""
 
     def run():
@@ -119,11 +127,14 @@ def test_ablation_threshold_scheme_overhead(benchmark):
             [("XOR (Figure 4)", xor_bits), ("Shamir threshold (§3.1.2)", shamir_bits)],
         )
     )
+    bench_record(
+        {"xor_bits": xor_bits, "shamir_bits": shamir_bits}, benchmark=benchmark
+    )
     assert shamir_bits > 3 * xor_bits
 
 
 @pytest.mark.benchmark(group="substrate")
-def test_engine_event_throughput(benchmark):
+def test_engine_event_throughput(benchmark, bench_record):
     """Raw events per second of the discrete-event engine."""
 
     def run(events=20_000):
@@ -139,4 +150,5 @@ def test_engine_event_throughput(benchmark):
         return counter["n"]
 
     executed = benchmark(run)
+    bench_record({"events": executed}, benchmark=benchmark)
     assert executed == 20_000

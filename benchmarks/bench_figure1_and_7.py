@@ -32,7 +32,7 @@ def _report(result, title):
 
 
 @pytest.mark.benchmark(group="figure1")
-def test_figure1_flid_dl_attack(benchmark, bench_config):
+def test_figure1_flid_dl_attack(benchmark, bench_config, bench_record):
     result = benchmark.pedantic(
         lambda: run_inflated_subscription_experiment(
             protected=False,
@@ -44,13 +44,23 @@ def test_figure1_flid_dl_attack(benchmark, bench_config):
         iterations=1,
     )
     _report(result, "Figure 1 — FLID-DL under inflated subscription")
+    bench_record(
+        {
+            "during_kbps": result.average_during_kbps,
+            "before_kbps": result.average_before_kbps,
+            "fairness_before": result.fairness_before,
+            "fairness_during": result.fairness_during,
+            "attacker_gain": result.attacker_gain,
+        },
+        benchmark=benchmark,
+    )
     # Paper: F1 jumps to ~690 Kbps (2.8x its fair share) while others collapse.
     assert result.average_during_kbps["F1"] > 1.8 * result.fair_share_kbps
     assert result.fairness_during < result.fairness_before
 
 
 @pytest.mark.benchmark(group="figure7")
-def test_figure7_flid_ds_protection(benchmark, bench_config):
+def test_figure7_flid_ds_protection(benchmark, bench_config, bench_record):
     result = benchmark.pedantic(
         lambda: run_inflated_subscription_experiment(
             protected=True,
@@ -62,6 +72,16 @@ def test_figure7_flid_ds_protection(benchmark, bench_config):
         iterations=1,
     )
     _report(result, "Figure 7 — FLID-DS (DELTA + SIGMA) under the same attack")
+    bench_record(
+        {
+            "during_kbps": result.average_during_kbps,
+            "before_kbps": result.average_before_kbps,
+            "fairness_before": result.fairness_before,
+            "fairness_during": result.fairness_during,
+            "attacker_gain": result.attacker_gain,
+        },
+        benchmark=benchmark,
+    )
     # Paper: the fair allocation is preserved; the attacker gains nothing.
     assert result.average_during_kbps["F1"] < 1.3 * result.fair_share_kbps
     assert result.average_during_kbps["F2"] > 0.25 * result.fair_share_kbps

@@ -17,7 +17,7 @@ from repro.experiments import run_convergence, run_heterogeneous_rtt, run_respon
 
 
 @pytest.mark.benchmark(group="figure8-responsiveness")
-def test_figure8e_responsiveness(benchmark, bench_config):
+def test_figure8e_responsiveness(benchmark, bench_config, bench_record):
     burst_window = (25.0, 45.0)
 
     def run():
@@ -37,13 +37,28 @@ def test_figure8e_responsiveness(benchmark, bench_config):
     ]
     print("\nFigure 8(e) — responsiveness to an 800 Kbps CBR burst")
     print(format_table(["protocol", "before (Kbps)", "during burst (Kbps)", "after (Kbps)"], rows))
+    bench_record(
+        {
+            "flid_dl_kbps": {
+                "before": dl.average_before_kbps,
+                "during": dl.average_during_kbps,
+                "after": dl.average_after_kbps,
+            },
+            "flid_ds_kbps": {
+                "before": ds.average_before_kbps,
+                "during": ds.average_during_kbps,
+                "after": ds.average_after_kbps,
+            },
+        },
+        benchmark=benchmark,
+    )
     for result in (dl, ds):
         assert result.yields_to_burst
         assert result.recovers_after_burst
 
 
 @pytest.mark.benchmark(group="figure8-rtt")
-def test_figure8f_heterogeneous_rtt(benchmark, bench_config):
+def test_figure8f_heterogeneous_rtt(benchmark, bench_config, bench_record):
     def run():
         return (
             run_heterogeneous_rtt(protected=False, config=bench_config, receiver_count=10, duration_s=60.0),
@@ -57,13 +72,20 @@ def test_figure8f_heterogeneous_rtt(benchmark, bench_config):
     # Multicast reception is receiver-driven: throughput must be essentially
     # independent of the receiver's round-trip time (all receivers share one
     # bottleneck and one session, so they see the same stream).
+    bench_record(
+        {
+            "flid_dl_spread_ratio": dl.spread_ratio,
+            "flid_ds_spread_ratio": ds.spread_ratio,
+        },
+        benchmark=benchmark,
+    )
     for result in (dl, ds):
         rates = [rate for _, rate in result.points]
         assert min(rates) > 0.5 * max(rates), f"RTT-dependent throughput: {result.points}"
 
 
 @pytest.mark.benchmark(group="figure8-convergence")
-def test_figure8gh_convergence(benchmark, bench_config):
+def test_figure8gh_convergence(benchmark, bench_config, bench_record):
     join_times = (0.0, 10.0, 20.0, 30.0)
 
     def run():
@@ -79,5 +101,18 @@ def test_figure8gh_convergence(benchmark, bench_config):
     ]
     print("\nFigures 8(g)/(h) — subscription convergence of staggered receivers")
     print(format_table(["protocol", "final levels", "convergence time (s)"], rows))
+    bench_record(
+        {
+            "flid_dl": {
+                "final_levels": dl.final_levels,
+                "convergence_time_s": dl.convergence_time_s,
+            },
+            "flid_ds": {
+                "final_levels": ds.final_levels,
+                "convergence_time_s": ds.convergence_time_s,
+            },
+        },
+        benchmark=benchmark,
+    )
     for result in (dl, ds):
         assert max(result.final_levels) - min(result.final_levels) <= 1

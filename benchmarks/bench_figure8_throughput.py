@@ -41,7 +41,7 @@ def _report(title, dl, ds):
 
 
 @pytest.mark.benchmark(group="figure8-throughput")
-def test_figure8abc_throughput_without_cross_traffic(benchmark, bench_config):
+def test_figure8abc_throughput_without_cross_traffic(benchmark, bench_config, bench_record):
     def run():
         dl = run_throughput_vs_sessions(
             protected=False,
@@ -59,6 +59,10 @@ def test_figure8abc_throughput_without_cross_traffic(benchmark, bench_config):
 
     dl, ds = benchmark.pedantic(run, rounds=1, iterations=1)
     _report("Figures 8(a)-(c) — throughput vs sessions, no cross traffic", dl, ds)
+    bench_record(
+        {"flid_dl_avg_kbps": dl.average_kbps, "flid_ds_avg_kbps": ds.average_kbps},
+        benchmark=benchmark,
+    )
     for count in BENCH_SESSION_COUNTS:
         # FLID-DS must track FLID-DL (the paper's "similar average throughput").
         assert ds.average_kbps[count] > 0.6 * dl.average_kbps[count]
@@ -66,7 +70,7 @@ def test_figure8abc_throughput_without_cross_traffic(benchmark, bench_config):
 
 
 @pytest.mark.benchmark(group="figure8-throughput")
-def test_figure8d_throughput_with_cross_traffic(benchmark, bench_config):
+def test_figure8d_throughput_with_cross_traffic(benchmark, bench_config, bench_record):
     def run():
         dl = run_throughput_vs_sessions(
             protected=False,
@@ -86,6 +90,15 @@ def test_figure8d_throughput_with_cross_traffic(benchmark, bench_config):
 
     dl, ds = benchmark.pedantic(run, rounds=1, iterations=1)
     _report("Figure 8(d) — throughput vs sessions, with TCP and on-off CBR cross traffic", dl, ds)
+    bench_record(
+        {
+            "flid_dl_avg_kbps": dl.average_kbps,
+            "flid_ds_avg_kbps": ds.average_kbps,
+            "flid_dl_tcp_kbps": dl.tcp_kbps,
+            "flid_ds_tcp_kbps": ds.tcp_kbps,
+        },
+        benchmark=benchmark,
+    )
     for count in BENCH_CROSS_SESSION_COUNTS:
         assert ds.average_kbps[count] > 0.5 * dl.average_kbps[count]
         assert ds.average_kbps[count] < 2.0 * dl.average_kbps[count]

@@ -17,7 +17,7 @@ from repro.experiments import (
 
 
 @pytest.mark.benchmark(group="figure9")
-def test_figure9a_overhead_vs_group_count(benchmark):
+def test_figure9a_overhead_vs_group_count(benchmark, bench_record):
     result = benchmark.pedantic(run_group_count_sweep, rounds=3, iterations=1)
     rows = [
         (int(p.parameter), round(p.delta_percent, 3), round(p.sigma_percent, 3))
@@ -25,13 +25,20 @@ def test_figure9a_overhead_vs_group_count(benchmark):
     ]
     print("\nFigure 9(a) — overhead vs number of groups (t = 250 ms)")
     print(format_table(["groups", "DELTA (%)", "SIGMA (%)"], rows))
+    bench_record(
+        {
+            "max_delta_percent": result.max_delta_percent,
+            "max_sigma_percent": result.max_sigma_percent,
+        },
+        benchmark=benchmark,
+    )
     # Paper: DELTA stays around 0.8 %, SIGMA under 0.6 %.
     assert result.max_delta_percent < 1.0
     assert result.max_sigma_percent < 0.6
 
 
 @pytest.mark.benchmark(group="figure9")
-def test_figure9b_overhead_vs_slot_duration(benchmark):
+def test_figure9b_overhead_vs_slot_duration(benchmark, bench_record):
     result = benchmark.pedantic(run_slot_duration_sweep, rounds=3, iterations=1)
     rows = [
         (p.parameter, round(p.delta_percent, 3), round(p.sigma_percent, 3))
@@ -39,12 +46,19 @@ def test_figure9b_overhead_vs_slot_duration(benchmark):
     ]
     print("\nFigure 9(b) — overhead vs time-slot duration (N = 10)")
     print(format_table(["slot (s)", "DELTA (%)", "SIGMA (%)"], rows))
+    bench_record(
+        {
+            "max_delta_percent": result.max_delta_percent,
+            "max_sigma_percent": result.max_sigma_percent,
+        },
+        benchmark=benchmark,
+    )
     assert result.max_delta_percent < 1.0
     assert result.max_sigma_percent < 0.6
 
 
 @pytest.mark.benchmark(group="figure9")
-def test_figure9_measured_overhead_matches_model(benchmark, bench_config):
+def test_figure9_measured_overhead_matches_model(benchmark, bench_config, bench_record):
     result = benchmark.pedantic(
         lambda: run_measured_overhead(config=bench_config, duration_s=15.0),
         rounds=1,
@@ -56,5 +70,14 @@ def test_figure9_measured_overhead_matches_model(benchmark, bench_config):
     ]
     print("\nFigure 9 cross-check — analytic model vs measured on the wire")
     print(format_table(["component", "model (%)", "measured (%)"], rows))
+    bench_record(
+        {
+            "measured_delta_percent": result.delta_percent,
+            "measured_sigma_percent": result.sigma_percent,
+            "model_delta_percent": result.model_delta_percent,
+            "model_sigma_percent": result.model_sigma_percent,
+        },
+        benchmark=benchmark,
+    )
     assert 0.3 < result.delta_within_factor < 3.0
     assert result.sigma_percent < 2.0

@@ -7,25 +7,52 @@ printed tables show the same rows/series the paper plots; EXPERIMENTS.md
 records a full-scale run next to the paper's numbers.
 
 Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
-tables).
+tables).  Each benchmark additionally writes a machine-readable
+``benchmarks/results/BENCH_<name>.json`` (runtime plus its key metrics) via
+the ``bench_record`` fixture, so the performance trajectory can be compared
+across commits.
 """
 
 import pathlib
-import sys
-
-_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
 
 import pytest
 
+from repro.analysis import write_json
 from repro.experiments import PAPER_DEFAULTS
 
 #: Shortened experiment configuration used by every benchmark.
 BENCH_DURATION_S = 60.0
 BENCH_ATTACK_START_S = 30.0
 
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
 
 @pytest.fixture(scope="session")
 def bench_config():
     return PAPER_DEFAULTS.with_duration(BENCH_DURATION_S)
+
+
+def _benchmark_runtime_s(benchmark):
+    """Mean per-round runtime from a pytest-benchmark fixture, if available."""
+    try:
+        return float(benchmark.stats.stats.mean)
+    except AttributeError:
+        return None
+
+
+@pytest.fixture
+def bench_record(request):
+    """Write ``BENCH_<name>.json`` with runtime and key metrics for this test."""
+
+    def record(metrics, benchmark=None, name=None):
+        bench_name = name or request.node.name
+        if bench_name.startswith("test_"):
+            bench_name = bench_name[len("test_"):]
+        payload = {
+            "bench": bench_name,
+            "runtime_s": _benchmark_runtime_s(benchmark) if benchmark is not None else None,
+            "metrics": metrics,
+        }
+        return write_json(RESULTS_DIR / f"BENCH_{bench_name}.json", payload)
+
+    return record

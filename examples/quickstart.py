@@ -1,58 +1,67 @@
 #!/usr/bin/env python3
 """Quickstart: one protected multicast session over a single bottleneck.
 
-Builds the paper's §5.1 dumbbell topology with one FLID-DS session (FLID-DL
-hardened with DELTA and SIGMA), runs it for 30 simulated seconds and prints
-the receiver's throughput series, its subscription level, and the SIGMA edge
-router's key-validation statistics.
+Declares the paper's §5.1 dumbbell scenario — one FLID-DS session (FLID-DL
+hardened with DELTA and SIGMA) at a 250 Kbps fair share — as a
+:class:`ScenarioSpec`, runs it through the experiment runner and prints the
+receiver's goodput, its subscription level and the SIGMA edge statistics.
+
+The same spec can be serialised (``spec.to_json()``), cached, or fanned out
+over seeds with ``ExperimentRunner(jobs=4)`` — see ``python -m repro list``
+for the full registered catalogue.
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
 
-from repro.core.sigma import SigmaRouterAgent
-from repro.core.timeslot import SlotClock
-from repro.multicast_cc import FlidDsReceiver, FlidDsSender, SessionSpec
-from repro.simulator import DumbbellConfig, DumbbellNetwork
+from repro.experiments import (
+    PAPER_DEFAULTS,
+    ScenarioSpec,
+    Scenario,
+    SessionDecl,
+    collect_metrics,
+)
+
+DURATION_S = 30.0
 
 
 def main() -> None:
-    # 1. Topology: sender -- left router -- 250 Kbps bottleneck -- edge router -- receiver.
-    config = DumbbellConfig.for_fair_share(sessions=1, fair_share_bps=250_000.0)
-    network = DumbbellNetwork(config)
+    # 1. Declare the experiment: topology by name, sessions as data.
+    spec = ScenarioSpec(
+        name="quickstart",
+        protected=True,
+        topology="dumbbell",
+        expected_sessions=1,
+        sessions=(SessionDecl("quickstart"),),
+        duration_s=DURATION_S,
+        config=PAPER_DEFAULTS,
+    )
+    print("spec (canonical JSON):")
+    print(f"  {spec.to_json()[:98]}...")
 
-    # 2. Protect the receiver-side edge router with SIGMA (key-based access,
-    #    250 ms time slots as in the paper's FLID-DS configuration).
-    slot_clock = SlotClock(network.sim, duration_s=0.25)
-    sigma = SigmaRouterAgent(network.edge_router, network.multicast, slot_clock)
-    slot_clock.start()
+    # 2. Interpret and run it.  (`execute_spec(spec)` does both in one call
+    #    and returns plain JSON metrics; going through Scenario keeps the
+    #    live objects inspectable.)
+    scenario = Scenario.from_spec(spec)
+    scenario.run(DURATION_S)
 
-    # 3. One 10-group layered session: 100 Kbps base layer, x1.5 per group.
-    sender_host = network.add_sender()
-    receiver_host = network.add_receiver()
-    network.build_routes()
-    spec = SessionSpec(
-        session_id="quickstart", slot_duration_s=0.25
-    ).with_addresses(network.allocate_groups(10))
-
-    sender = FlidDsSender(network, sender_host, spec)
-    receiver = FlidDsReceiver(network, receiver_host, spec)
-    sender.start()
-    receiver.start()
-
-    # 4. Run and report.
-    network.run(until=30.0)
-
-    print("FLID-DS quickstart (250 Kbps bottleneck, 10 groups)")
+    # 3. Report.
+    receiver = scenario.sessions[0].receiver
+    session_spec = scenario.sessions[0].spec
+    sigma = scenario.sigma
+    print("\nFLID-DS quickstart (250 Kbps bottleneck, 10 groups)")
     print(f"  final subscription level : {receiver.level} "
-          f"(fair level for 250 Kbps is {spec.fair_level(250_000.0)})")
+          f"(fair level for 250 Kbps is {session_spec.fair_level(250_000.0)})")
     print(f"  average goodput          : {receiver.average_rate_kbps(5, 30):.1f} Kbps")
     print(f"  SIGMA valid submissions  : {sigma.valid_submissions}")
     print(f"  SIGMA invalid submissions: {sigma.invalid_submissions}")
     print(f"  SIGMA revocations        : {sigma.revocations}")
+    print("\n  metrics document (what the parallel runner returns):")
+    metrics = collect_metrics(scenario, spec)
+    print(f"  {metrics['multicast']['quickstart']}")
     print("\n  time (s)  goodput (Kbps)")
-    for sample in receiver.monitor.series(end_time_s=30.0):
+    for sample in receiver.monitor.series(end_time_s=DURATION_S):
         print(f"  {sample.time_s:7.1f}  {sample.rate_kbps:10.1f}")
 
 

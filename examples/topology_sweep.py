@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The same attack on three topologies, fanned out over the parallel runner.
+
+The paper's evaluation lives on a dumbbell; the topology graph layer also
+provides multi-bottleneck shapes.  This example runs the registered
+inflated-subscription showcase on the parking-lot chain, plus the star and
+binary-tree fan-outs, with the unprotected and protected variants of each —
+six experiments dispatched through one :class:`ExperimentRunner`.
+
+Run with::
+
+    PYTHONPATH=src python examples/topology_sweep.py
+"""
+
+from repro.analysis import format_table
+from repro.experiments import ExperimentRunner, scenario_spec
+
+DURATION_S = 40.0
+
+
+def main() -> None:
+    specs = [
+        scenario_spec(name, protected=protected, duration_s=DURATION_S)
+        for name in ("parking-lot-attack", "star-fanout", "tree-convergence")
+        for protected in (False, True)
+    ]
+    # jobs > 1 fans the independent runs out over worker processes; results
+    # are byte-identical to jobs=1 because the simulator is deterministic.
+    runner = ExperimentRunner(jobs=2)
+    results = runner.run(specs)
+
+    rows = []
+    for spec, result in zip(specs, results):
+        for session_id, session in result.metrics["multicast"].items():
+            rows.append(
+                (
+                    spec.name,
+                    spec.topology,
+                    "FLID-DS" if spec.protected else "FLID-DL",
+                    session_id,
+                    round(session["average_kbps"], 1),
+                    session["final_levels"],
+                )
+            )
+    print(format_table(
+        ["scenario", "topology", "protocol", "session", "avg Kbps", "final levels"],
+        rows,
+    ))
+    print("\nProtected runs hold the fair allocation on every topology; the")
+    print("unprotected parking-lot run shows the attacker squeezing the victims")
+    print("that share its first-hop bottleneck.")
+
+
+if __name__ == "__main__":
+    main()

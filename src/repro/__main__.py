@@ -1,0 +1,146 @@
+"""Command-line entry point: list and run registered scenarios.
+
+Examples::
+
+    python -m repro list
+    python -m repro topologies
+    python -m repro run figure8-throughput --seeds 4 --jobs 4
+    python -m repro run parking-lot-attack --duration 30 --out results/
+
+``run`` executes the named scenario's spec over a seed sweep through the
+parallel :class:`~repro.experiments.runner.ExperimentRunner`, prints the
+per-seed key metrics and the cross-seed aggregate, and optionally writes the
+raw results plus the aggregate as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis.reporting import aggregate_metrics, format_aggregate_table, format_table, write_json
+from .experiments import ExperimentRunner, list_scenarios, scenario_entry
+from .simulator.topology import TOPOLOGIES
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [(entry.name, entry.description) for entry in list_scenarios()]
+    print(format_table(["scenario", "description"], rows))
+    return 0
+
+
+def _cmd_topologies(_args: argparse.Namespace) -> int:
+    rows = [
+        (name, (factory.__doc__ or "").strip().splitlines()[0])
+        for name, factory in sorted(TOPOLOGIES.items())
+    ]
+    print(format_table(["topology", "description"], rows))
+    return 0
+
+
+def _parse_param(text: str):
+    """Parse a ``key=value`` override; values become int/float/bool if they can."""
+    key, sep, raw = text.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(f"expected key=value, got {text!r}")
+    value: object
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        value = lowered == "true"
+    else:
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+    return key, value
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        entry = scenario_entry(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    params = dict(args.param or [])
+    if args.duration is not None:
+        params["duration_s"] = args.duration
+    try:
+        spec = entry.build(**params)
+        runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results = runner.run_seed_sweep(spec, range(args.seeds))
+
+    print(f"{entry.name}: {entry.description}")
+    print(
+        f"topology={spec.topology} protected={spec.protected} "
+        f"duration={spec.effective_duration_s:g}s seeds={args.seeds} jobs={args.jobs}"
+    )
+    rows = []
+    for result in results:
+        for session_id, session in result.metrics["multicast"].items():
+            rows.append((result.seed, session_id, session["average_kbps"]))
+    print()
+    print(format_table(["seed", "session", "avg goodput (Kbps)"], rows))
+    print()
+    aggregate = aggregate_metrics([result.metrics for result in results])
+    print(format_aggregate_table(aggregate))
+
+    if args.out is not None:
+        out_dir = Path(args.out)
+        runs_path = write_json(
+            out_dir / f"{entry.name}-runs.json", [r.to_dict() for r in results]
+        )
+        agg_path = write_json(out_dir / f"{entry.name}-aggregate.json", aggregate)
+        print(f"\nwrote {runs_path} and {agg_path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of GorinskyJVZ03: run registered evaluation scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list registered scenarios").set_defaults(func=_cmd_list)
+    sub.add_parser("topologies", help="list named topologies").set_defaults(
+        func=_cmd_topologies
+    )
+
+    run = sub.add_parser("run", help="run a registered scenario by name")
+    run.add_argument("scenario", help="scenario name (see `list`)")
+    run.add_argument("--seeds", type=int, default=1, help="number of seeds (0..N-1)")
+    run.add_argument("--jobs", type=int, default=1, help="parallel worker processes")
+    run.add_argument("--duration", type=float, default=None, help="override duration (s)")
+    run.add_argument(
+        "--param",
+        type=_parse_param,
+        action="append",
+        metavar="KEY=VALUE",
+        help="builder parameter override (repeatable), e.g. --param count=8",
+    )
+    run.add_argument("--out", default=None, help="directory for JSON results")
+    run.add_argument("--cache-dir", default=None, help="per-run result cache directory")
+    run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "func", None):
+        parser.print_help()
+        print()
+        return _cmd_list(args)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,14 @@
 
 from .fairness import bandwidth_shares, jain_index, max_min_ratio
 from .convergence import convergence_time, levels_converged
-from .reporting import format_series_table, format_table
+from .reporting import (
+    aggregate_metrics,
+    flatten_metrics,
+    format_aggregate_table,
+    format_series_table,
+    format_table,
+    write_json,
+)
 
 __all__ = [
     "bandwidth_shares",
@@ -10,6 +17,10 @@ __all__ = [
     "max_min_ratio",
     "convergence_time",
     "levels_converged",
+    "aggregate_metrics",
+    "flatten_metrics",
+    "format_aggregate_table",
     "format_series_table",
     "format_table",
+    "write_json",
 ]

@@ -1,19 +1,36 @@
 """Experiments reproducing every figure of the paper's evaluation (§5).
 
-* :mod:`repro.experiments.figure1` — Figures 1 and 7 (inflated subscription
-  without and with DELTA/SIGMA protection).
-* :mod:`repro.experiments.figure8` — Figures 8(a)-(h) (preservation of
-  congestion control properties).
-* :mod:`repro.experiments.figure9` — Figures 9(a)-(b) (communication
-  overhead, analytic and measured).
+The stack is layered:
+
 * :mod:`repro.experiments.config` — the shared §5.1 settings.
-* :mod:`repro.experiments.scenario` — the single-bottleneck scenario builder.
+* :mod:`repro.experiments.spec` — declarative, serialisable scenario
+  specifications (:class:`ScenarioSpec`): topology by name, sessions, attack
+  schedules, TCP/CBR cross traffic.
+* :mod:`repro.experiments.registry` — named scenario registry (see
+  ``python -m repro list``).
+* :mod:`repro.experiments.scenario` — the interpreter realising specs on the
+  simulator's topology graph layer.
+* :mod:`repro.experiments.runner` — the parallel
+  :class:`ExperimentRunner`: spec × seed × parameter grids over a process
+  pool, with JSON result caching.
+* :mod:`repro.experiments.figure1` / :mod:`figure8` / :mod:`figure9` — the
+  paper's figures, built on the layers above.
 """
 
 from .config import PAPER_DEFAULTS, ExperimentConfig
+from .spec import CbrDecl, ScenarioSpec, SessionDecl, TcpDecl
+from .registry import (
+    ScenarioEntry,
+    list_scenarios,
+    register_scenario,
+    scenario_entry,
+    scenario_spec,
+)
+from .runner import ExperimentRunner, RunResult, collect_metrics, execute_spec, run_spec_json
 from .figure1 import (
     DEFAULT_ATTACK_START_S,
     InflatedSubscriptionResult,
+    inflated_subscription_spec,
     run_inflated_subscription_experiment,
 )
 from .figure8 import (
@@ -22,10 +39,13 @@ from .figure8 import (
     ResponsivenessResult,
     RttFairnessResult,
     ThroughputVsSessionsResult,
+    convergence_spec,
+    responsiveness_spec,
     run_convergence,
     run_heterogeneous_rtt,
     run_responsiveness,
     run_throughput_vs_sessions,
+    throughput_vs_sessions_spec,
 )
 from .figure9 import (
     PAPER_GROUP_COUNTS,
@@ -33,6 +53,7 @@ from .figure9 import (
     MeasuredOverheadResult,
     OverheadSweepResult,
     figure9_model,
+    measured_overhead_spec,
     run_group_count_sweep,
     run_measured_overhead,
     run_slot_duration_sweep,
@@ -42,23 +63,42 @@ from .scenario import MulticastSession, Scenario
 __all__ = [
     "PAPER_DEFAULTS",
     "ExperimentConfig",
+    "CbrDecl",
+    "ScenarioSpec",
+    "SessionDecl",
+    "TcpDecl",
+    "ScenarioEntry",
+    "list_scenarios",
+    "register_scenario",
+    "scenario_entry",
+    "scenario_spec",
+    "ExperimentRunner",
+    "RunResult",
+    "collect_metrics",
+    "execute_spec",
+    "run_spec_json",
     "DEFAULT_ATTACK_START_S",
     "InflatedSubscriptionResult",
+    "inflated_subscription_spec",
     "run_inflated_subscription_experiment",
     "PAPER_SESSION_COUNTS",
     "ConvergenceResult",
     "ResponsivenessResult",
     "RttFairnessResult",
     "ThroughputVsSessionsResult",
+    "convergence_spec",
+    "responsiveness_spec",
     "run_convergence",
     "run_heterogeneous_rtt",
     "run_responsiveness",
     "run_throughput_vs_sessions",
+    "throughput_vs_sessions_spec",
     "PAPER_GROUP_COUNTS",
     "PAPER_SLOT_DURATIONS",
     "MeasuredOverheadResult",
     "OverheadSweepResult",
     "figure9_model",
+    "measured_overhead_spec",
     "run_group_count_sweep",
     "run_measured_overhead",
     "run_slot_duration_sweep",

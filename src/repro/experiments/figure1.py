@@ -24,12 +24,58 @@ from typing import Dict, List, Optional, Tuple
 from ..analysis.fairness import jain_index
 from ..simulator.monitors import ThroughputSample
 from .config import PAPER_DEFAULTS, ExperimentConfig
+from .registry import register_scenario
 from .scenario import Scenario
+from .spec import ScenarioSpec, SessionDecl, TcpDecl
 
-__all__ = ["InflatedSubscriptionResult", "run_inflated_subscription_experiment"]
+__all__ = [
+    "InflatedSubscriptionResult",
+    "inflated_subscription_spec",
+    "run_inflated_subscription_experiment",
+]
 
 #: Time at which F1 starts misbehaving (both figures).
 DEFAULT_ATTACK_START_S = 100.0
+
+
+def inflated_subscription_spec(
+    protected: bool,
+    config: Optional[ExperimentConfig] = None,
+    attack_start_s: float = DEFAULT_ATTACK_START_S,
+    duration_s: Optional[float] = None,
+) -> ScenarioSpec:
+    """Declarative form of the Figure 1 / Figure 7 scenario.
+
+    Four flows (2 multicast + 2 TCP) at a 250 Kbps fair share share a 1 Mbps
+    dumbbell bottleneck; multicast receiver F1 turns misbehaving at
+    ``attack_start_s``.
+    """
+    config = config or PAPER_DEFAULTS
+    duration = config.duration_s if duration_s is None else duration_s
+    attack_start = min(attack_start_s, duration)
+    return ScenarioSpec(
+        name="figure7-defence" if protected else "figure1-attack",
+        protected=protected,
+        expected_sessions=4,
+        sessions=(
+            SessionDecl("F1", receivers=1, misbehaving=(0,), attack_start_s=attack_start),
+            SessionDecl("F2", receivers=1),
+        ),
+        tcp=(TcpDecl("T1"), TcpDecl("T2")),
+        duration_s=duration,
+        config=config,
+    )
+
+
+register_scenario(
+    "figure1-attack",
+    "Figure 1: inflated-subscription attack on FLID-DL — F1 squeezes F2/T1/T2",
+)(lambda **params: inflated_subscription_spec(protected=False, **params))
+
+register_scenario(
+    "figure7-defence",
+    "Figure 7: the same attack against FLID-DS — DELTA/SIGMA hold the fair share",
+)(lambda **params: inflated_subscription_spec(protected=True, **params))
 
 
 @dataclass
@@ -71,18 +117,16 @@ def run_inflated_subscription_experiment(
     duration_s: Optional[float] = None,
 ) -> InflatedSubscriptionResult:
     """Run the Figure 1 (``protected=False``) or Figure 7 (``protected=True``) scenario."""
-    config = config or PAPER_DEFAULTS
-    duration = config.duration_s if duration_s is None else duration_s
+    spec = inflated_subscription_spec(
+        protected, config=config, attack_start_s=attack_start_s, duration_s=duration_s
+    )
+    config = spec.config
+    duration = spec.effective_duration_s
     attack_start = min(attack_start_s, duration)
 
-    # Four sessions (2 multicast + 2 TCP) at a 250 Kbps fair share -> 1 Mbps.
-    scenario = Scenario(config, protected=protected, expected_sessions=4)
-    f1_session = scenario.add_multicast_session(
-        "F1", receivers=1, misbehaving=(0,), attack_start_s=attack_start
-    )
-    f2_session = scenario.add_multicast_session("F2", receivers=1)
-    t1 = scenario.add_tcp_connection("T1")
-    t2 = scenario.add_tcp_connection("T2")
+    scenario = Scenario.from_spec(spec)
+    f1_session, f2_session = scenario.sessions
+    t1, t2 = scenario.tcp_connections
     scenario.run(duration)
 
     monitors = {

@@ -19,18 +19,20 @@ the wire, so the model and the implementation can be cross-checked.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.overhead import OverheadModel, OverheadPoint
-from ..multicast_cc import SessionSpec
 from .config import PAPER_DEFAULTS, ExperimentConfig
+from .registry import register_scenario
 from .scenario import Scenario
+from .spec import ScenarioSpec, SessionDecl
 
 __all__ = [
     "OverheadSweepResult",
     "MeasuredOverheadResult",
     "figure9_model",
+    "measured_overhead_spec",
     "run_group_count_sweep",
     "run_slot_duration_sweep",
     "run_measured_overhead",
@@ -99,6 +101,42 @@ def run_slot_duration_sweep(
 # ----------------------------------------------------------------------
 # Measured overhead from the full simulator
 # ----------------------------------------------------------------------
+def measured_overhead_spec(
+    config: Optional[ExperimentConfig] = None,
+    duration_s: float = 30.0,
+    bottleneck_bps: Optional[float] = None,
+) -> ScenarioSpec:
+    """Declarative form of the measured-overhead FLID-DS session.
+
+    A generous bottleneck keeps the receiver at the maximal level, and
+    suppression of unsubscribed groups is disabled, so the full cumulative
+    session rate flows — matching the analytic model's denominator.
+    """
+    config = config or PAPER_DEFAULTS
+    if bottleneck_bps is None:
+        bottleneck_bps = 2.0 * figure9_model(slot_duration_s=config.flid_ds_slot_s).cumulative_rate_bps
+    return ScenarioSpec(
+        name="figure9-measured-overhead",
+        protected=True,
+        expected_sessions=1,
+        bottleneck_bps=bottleneck_bps,
+        sessions=(
+            SessionDecl(
+                "overhead", track_overhead=True, suppress_unsubscribed_groups=False
+            ),
+        ),
+        duration_s=duration_s,
+        config=config,
+    )
+
+
+register_scenario(
+    "figure9-measured-overhead",
+    "Figure 9 cross-check: DELTA/SIGMA overhead measured on the wire for one "
+    "FLID-DS session",
+)(measured_overhead_spec)
+
+
 @dataclass
 class MeasuredOverheadResult:
     """Overhead measured on the wire for one simulated FLID-DS session."""
@@ -132,19 +170,11 @@ def run_measured_overhead(
     """
     config = config or PAPER_DEFAULTS
     model = figure9_model(slot_duration_s=config.flid_ds_slot_s, group_count=group_count)
-    # A generous bottleneck keeps the receiver at the maximal level, matching
-    # the model's assumption that the full session rate is transmitted.
-    scenario = Scenario(
-        config,
-        protected=True,
-        expected_sessions=1,
-        bottleneck_bps=2.0 * model.cumulative_rate_bps,
+    spec = measured_overhead_spec(
+        config=config, duration_s=duration_s, bottleneck_bps=2.0 * model.cumulative_rate_bps
     )
-    # Suppression of unsubscribed groups is disabled so the full cumulative
-    # session rate flows, matching the analytic model's denominator.
-    session = scenario.add_multicast_session(
-        "overhead", track_overhead=True, suppress_unsubscribed_groups=False
-    )
+    scenario = Scenario.from_spec(spec)
+    session = scenario.sessions[0]
     scenario.run(duration_s)
     overhead = session.overhead
     assert overhead is not None

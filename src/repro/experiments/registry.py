@@ -1,0 +1,195 @@
+"""Named scenario registry.
+
+Experiments register :class:`~repro.experiments.spec.ScenarioSpec` builders
+under a stable name, making every scenario addressable from the command line
+(``python -m repro run <name>``), from the parallel runner, and from tests.
+A builder is a callable returning a spec; keyword parameters are forwarded,
+so registered scenarios stay parameterisable (seed, duration, scale knobs).
+
+The paper's figure scenarios register themselves from their modules
+(:mod:`repro.experiments.figure1`, :mod:`repro.experiments.figure8`); the
+multi-bottleneck showcases on the new parking-lot / star / binary-tree
+topologies are registered here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .config import PAPER_DEFAULTS
+from .spec import CbrDecl, ScenarioSpec, SessionDecl, TcpDecl
+
+__all__ = [
+    "ScenarioEntry",
+    "register_scenario",
+    "scenario_spec",
+    "scenario_entry",
+    "list_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One registered scenario: its name, a short description, a builder."""
+
+    name: str
+    description: str
+    builder: Callable[..., ScenarioSpec]
+
+    def build(self, **params) -> ScenarioSpec:
+        return self.builder(**params)
+
+
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def register_scenario(name: str, description: str):
+    """Decorator registering ``builder(**params) -> ScenarioSpec`` as ``name``."""
+
+    def decorate(builder: Callable[..., ScenarioSpec]) -> Callable[..., ScenarioSpec]:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = ScenarioEntry(name=name, description=description, builder=builder)
+        return builder
+
+    return decorate
+
+
+def scenario_entry(name: str) -> ScenarioEntry:
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def scenario_spec(name: str, **params) -> ScenarioSpec:
+    """Build the named scenario's spec with builder keyword ``params``."""
+    return scenario_entry(name).build(**params)
+
+
+def list_scenarios() -> List[ScenarioEntry]:
+    """All registered scenarios, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# showcases on the multi-bottleneck topologies
+# ----------------------------------------------------------------------
+@register_scenario(
+    "parking-lot-attack",
+    "Inflated-subscription attack on a 3-hop parking lot: the attacker sits "
+    "one hop in, its victims span every bottleneck",
+)
+def parking_lot_attack(
+    protected: bool = True,
+    hops: int = 3,
+    attack_start_s: float = 30.0,
+    duration_s: Optional[float] = 90.0,
+    config=PAPER_DEFAULTS,
+) -> ScenarioSpec:
+    receivers = hops
+    routers = tuple(f"r{i + 1}" for i in range(receivers))
+    return ScenarioSpec(
+        name="parking-lot-attack",
+        protected=protected,
+        topology="parking-lot",
+        topology_params={
+            "hops": hops,
+            "bottleneck_bandwidth_bps": 2 * config.fair_share_bps,
+        },
+        sessions=(
+            SessionDecl(
+                "victims",
+                receivers=receivers,
+                receiver_routers=routers,
+            ),
+            SessionDecl(
+                "attacker",
+                receivers=1,
+                misbehaving=(0,),
+                attack_start_s=attack_start_s,
+                receiver_routers=("r1",),
+            ),
+        ),
+        duration_s=duration_s,
+        config=config,
+    )
+
+
+@register_scenario(
+    "star-fanout",
+    "One session fanning out to independently-bottlenecked star arms, with a "
+    "TCP flow competing on the first arm",
+)
+def star_fanout(
+    protected: bool = True,
+    arms: int = 4,
+    duration_s: Optional[float] = 60.0,
+    config=PAPER_DEFAULTS,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="star-fanout",
+        protected=protected,
+        topology="star",
+        topology_params={
+            "arms": arms,
+            "arm_bandwidth_bps": 2 * config.fair_share_bps,
+        },
+        sessions=(
+            SessionDecl(
+                "fanout",
+                receivers=arms,
+                receiver_routers=tuple(f"arm{i + 1}" for i in range(arms)),
+            ),
+        ),
+        tcp=(TcpDecl("cross", receiver_router="arm1"),),
+        duration_s=duration_s,
+        config=config,
+    )
+
+
+@register_scenario(
+    "tree-convergence",
+    "Staggered receivers joining across the leaves of a binary distribution "
+    "tree, with a CBR burst squeezing the root link",
+)
+def tree_convergence(
+    protected: bool = True,
+    depth: int = 3,
+    duration_s: Optional[float] = 60.0,
+    config=PAPER_DEFAULTS,
+) -> ScenarioSpec:
+    leaves = 2 ** (depth - 1)
+    first_leaf = 2 ** (depth - 1) - 1
+    return ScenarioSpec(
+        name="tree-convergence",
+        protected=protected,
+        topology="binary-tree",
+        topology_params={
+            "depth": depth,
+            "link_bandwidth_bps": 4 * config.fair_share_bps,
+        },
+        sessions=(
+            SessionDecl(
+                "tree",
+                receivers=leaves,
+                receiver_start_times=tuple(5.0 * i for i in range(leaves)),
+                receiver_routers=tuple(f"t{first_leaf + i}" for i in range(leaves)),
+            ),
+        ),
+        cbr=(
+            CbrDecl(
+                "burst",
+                rate_bps=2 * config.fair_share_bps,
+                on_s=15.0,
+                off_s=1.0,
+                active_window=(30.0, 45.0),
+                receiver_router=f"t{first_leaf}",
+            ),
+        ),
+        duration_s=duration_s,
+        config=config,
+    )

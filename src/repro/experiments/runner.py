@@ -1,0 +1,227 @@
+"""Parallel experiment runner with JSON result caching.
+
+The runner executes :class:`~repro.experiments.spec.ScenarioSpec` instances —
+optionally fanned out over a spec × seed × parameter grid — and returns
+:class:`RunResult` objects whose ``metrics`` are plain JSON data.
+
+Both execution paths go through the same serialised round-trip: a spec is
+canonicalised to JSON, handed to :func:`run_spec_json` (in-process when
+``jobs == 1``, in a :class:`~concurrent.futures.ProcessPoolExecutor` worker
+otherwise), and the result comes back as canonical JSON.  Because the
+simulator is deterministic, the serial and parallel paths produce
+byte-identical result documents for the same spec and seed — the property
+tests assert exactly that.
+
+Results can be cached on disk (``cache_dir``): the cache key is the SHA-256
+of the spec's canonical JSON, so a cache hit is definitionally the same
+experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .scenario import Scenario
+from .spec import ScenarioSpec
+
+__all__ = [
+    "RunResult",
+    "ExperimentRunner",
+    "collect_metrics",
+    "execute_spec",
+    "run_spec_json",
+]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one spec execution, as plain JSON-serialisable data."""
+
+    scenario: str
+    seed: int
+    protected: bool
+    duration_s: float
+    metrics: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "protected": self.protected,
+            "duration_s": self.duration_s,
+            "metrics": self.metrics,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace) — stable byte-for-byte."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunResult":
+        return cls(
+            scenario=payload["scenario"],
+            seed=payload["seed"],
+            protected=payload["protected"],
+            duration_s=payload["duration_s"],
+            metrics=dict(payload["metrics"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# metric extraction
+# ----------------------------------------------------------------------
+def collect_metrics(scenario: Scenario, spec: ScenarioSpec) -> Dict[str, Any]:
+    """Measure a finished scenario into plain JSON data.
+
+    Per multicast session: the per-receiver average goodput over
+    ``[warmup, duration]``, its mean, and the final subscription levels.
+    Per TCP connection: the average goodput.  SIGMA counters are aggregated
+    over all edge agents.  With ``spec.record_series`` the per-session
+    first-receiver throughput series is included as ``[time_s, kbps]`` pairs.
+    """
+    config = spec.config
+    duration = spec.effective_duration_s
+    warmup = config.warmup_s
+    metrics: Dict[str, Any] = {"multicast": {}}
+    for decl, session in zip(spec.sessions, scenario.sessions):
+        receiver_kbps = [
+            receiver.average_rate_kbps(warmup, duration) for receiver in session.receivers
+        ]
+        entry: Dict[str, Any] = {
+            "receiver_kbps": receiver_kbps,
+            "average_kbps": sum(receiver_kbps) / len(receiver_kbps),
+            "final_levels": [receiver.level for receiver in session.receivers],
+        }
+        if session.overhead is not None:
+            delta_pct, sigma_pct = session.overhead.as_percentages()
+            entry["overhead_percent"] = {"delta": delta_pct, "sigma": sigma_pct}
+        if spec.record_series:
+            entry["series"] = [
+                [sample.time_s, sample.rate_kbps]
+                for sample in session.receiver.monitor.smoothed_series(
+                    window_bins=5, end_time_s=duration
+                )
+            ]
+        metrics["multicast"][decl.session_id] = entry
+    if spec.tcp:
+        metrics["tcp_kbps"] = {
+            decl.name: connection.monitor.average_rate_kbps(warmup, duration)
+            for decl, connection in zip(spec.tcp, scenario.tcp_connections)
+        }
+    if scenario.sigma_agents:
+        metrics["sigma"] = {
+            "valid_submissions": sum(a.valid_submissions for a in scenario.sigma_agents),
+            "invalid_submissions": sum(a.invalid_submissions for a in scenario.sigma_agents),
+            "revocations": sum(a.revocations for a in scenario.sigma_agents),
+            "edge_agents": len(scenario.sigma_agents),
+        }
+    return metrics
+
+
+def execute_spec(spec: ScenarioSpec) -> RunResult:
+    """Interpret and run one spec in-process, returning its result."""
+    scenario = Scenario.from_spec(spec)
+    duration = spec.effective_duration_s
+    scenario.run(duration)
+    return RunResult(
+        scenario=spec.name,
+        seed=spec.seed,
+        protected=spec.protected,
+        duration_s=duration,
+        metrics=collect_metrics(scenario, spec),
+    )
+
+
+def run_spec_json(spec_json: str) -> str:
+    """Worker entry point: canonical spec JSON in, canonical result JSON out.
+
+    Module-level (and string-typed) so it pickles cleanly into pool workers;
+    the JSON round-trip also guarantees the serial path exercises exactly the
+    same serialisation as the parallel one.
+    """
+    return execute_spec(ScenarioSpec.from_json(spec_json)).to_json()
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+class ExperimentRunner:
+    """Fan specs out over processes, with optional on-disk result caching."""
+
+    def __init__(self, jobs: int = 1, cache_dir: Optional[Path] = None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def cache_key(spec: ScenarioSpec) -> str:
+        return hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()
+
+    def _cache_path(self, spec: ScenarioSpec) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{self.cache_key(spec)}.json"
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[ScenarioSpec]) -> List[RunResult]:
+        """Execute every spec, preserving input order in the results."""
+        specs = list(specs)
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            path = self._cache_path(spec)
+            if path is not None and path.exists():
+                results[index] = RunResult.from_json(path.read_text())
+                self.cache_hits += 1
+            else:
+                pending.append(index)
+                self.cache_misses += 1
+
+        if pending:
+            payloads = [specs[index].to_json() for index in pending]
+            if self.jobs > 1 and len(pending) > 1:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    outputs = list(pool.map(run_spec_json, payloads))
+            else:
+                outputs = [run_spec_json(payload) for payload in payloads]
+            for index, output in zip(pending, outputs):
+                results[index] = RunResult.from_json(output)
+                path = self._cache_path(specs[index])
+                if path is not None:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    path.write_text(output)
+        return [result for result in results if result is not None]
+
+    def run_one(self, spec: ScenarioSpec) -> RunResult:
+        return self.run([spec])[0]
+
+    def run_seed_sweep(self, spec: ScenarioSpec, seeds: Iterable[int]) -> List[RunResult]:
+        """Run the same spec under each seed."""
+        return self.run([spec.with_seed(seed) for seed in seeds])
+
+    def run_grid(
+        self,
+        spec: ScenarioSpec,
+        seeds: Iterable[int] = (0,),
+        overrides: Optional[Sequence[Mapping[str, Any]]] = None,
+    ) -> List[RunResult]:
+        """Run a spec × seed × override grid (overrides are spec field dicts)."""
+        variants: List[ScenarioSpec] = []
+        for override in overrides if overrides is not None else [{}]:
+            base = replace(spec, **dict(override)) if override else spec
+            for seed in seeds:
+                variants.append(base.with_seed(seed))
+        return self.run(variants)

@@ -1,15 +1,22 @@
-"""Scenario builder for the §5 evaluation topologies.
+"""Scenario construction: the interpreter of declarative scenario specs.
 
-Every figure of the paper uses the same single-bottleneck arrangement with a
-different mix of traffic; :class:`Scenario` assembles those mixes:
+Historically :class:`Scenario` was a dumbbell-only builder; it is now an
+interpreter over the general topology layer.  It can be driven two ways:
 
-* any number of multicast sessions, each either FLID-DL (unprotected, the
-  receiver-side edge router runs IGMP) or FLID-DS (protected, the edge router
-  runs a SIGMA agent);
-* well-behaved or misbehaving (inflated-subscription) receivers per session,
-  with configurable attack start times and per-receiver access-link delays;
-* any number of TCP Reno connections;
-* optional on-off CBR background or burst traffic.
+* **declaratively** — :meth:`Scenario.from_spec` takes a
+  :class:`~repro.experiments.spec.ScenarioSpec` (topology by name plus session
+  / cross-traffic declarations) and realises the whole experiment;
+* **imperatively** — the historical API (construct, then
+  :meth:`add_multicast_session` / :meth:`add_tcp_connection` /
+  :meth:`add_onoff_cbr`) still works and now accepts an arbitrary
+  :class:`~repro.simulator.topology.TopologySpec`, defaulting to the paper's
+  dumbbell.
+
+Group management is installed on *every* receiver-side router of the
+topology: an IGMP manager per router for the unprotected baseline, or one
+SIGMA agent per router (sharing a single slot clock) for the protected
+system — on multi-bottleneck topologies such as the parking lot, star and
+binary tree, each edge router polices its own local receivers.
 
 The builder exposes the created senders/receivers/connections so experiments
 and tests can interrogate throughput monitors, SIGMA statistics and level
@@ -19,7 +26,7 @@ histories after :meth:`run`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.sigma import SigmaConfig, SigmaRouterAgent
 from ..core.timeslot import SlotClock
@@ -34,13 +41,20 @@ from ..multicast_cc import (
 )
 from ..multicast_cc.receiver_base import LayeredReceiverBase
 from ..multicast_cc.sender_base import LayeredSenderBase
-from ..simulator.igmp import install_igmp
+from ..simulator.igmp import IgmpGroupManager, install_igmp
 from ..simulator.monitors import OverheadAccumulator
 from ..simulator.node import Host
-from ..simulator.topology import DumbbellConfig, DumbbellNetwork
+from ..simulator.topology import (
+    DumbbellConfig,
+    DumbbellNetwork,
+    NetworkGraph,
+    TopologySpec,
+    build_topology,
+)
 from ..transport.cbr import CbrSink, OnOffCbrSource
 from ..transport.tcp import TcpConnection
 from .config import ExperimentConfig
+from .spec import ScenarioSpec
 
 __all__ = ["MulticastSession", "Scenario"]
 
@@ -62,7 +76,7 @@ class MulticastSession:
 
 
 class Scenario:
-    """One §5-style experiment: a dumbbell plus a configurable traffic mix."""
+    """One experiment: a topology graph plus a configurable traffic mix."""
 
     def __init__(
         self,
@@ -71,29 +85,127 @@ class Scenario:
         bottleneck_bps: Optional[float] = None,
         expected_sessions: int = 1,
         sigma_config: Optional[SigmaConfig] = None,
+        topology: Optional[TopologySpec] = None,
+        dumbbell_config: Optional[DumbbellConfig] = None,
     ) -> None:
         self.config = config
         self.protected = protected
-        dumbbell_config = config.dumbbell(expected_sessions, bottleneck_bps)
-        self.network = DumbbellNetwork(dumbbell_config)
+        if topology is None:
+            self.network: NetworkGraph = DumbbellNetwork(
+                dumbbell_config or config.dumbbell(expected_sessions, bottleneck_bps)
+            )
+        else:
+            self.network = NetworkGraph(topology, seed=config.seed)
         self.sessions: List[MulticastSession] = []
         self.tcp_connections: List[TcpConnection] = []
         self.cbr_sources: List[OnOffCbrSource] = []
         self.cbr_sinks: List[CbrSink] = []
-        self.sigma: Optional[SigmaRouterAgent] = None
+        self.sigma_agents: List[SigmaRouterAgent] = []
+        self.igmp_managers: List[IgmpGroupManager] = []
+        self.slot_clock: Optional[SlotClock] = None
         self._next_port = 5000
 
         if protected:
-            slot_clock = SlotClock(self.network.sim, config.flid_ds_slot_s)
-            self.sigma = SigmaRouterAgent(
-                self.network.right,
-                self.network.multicast,
-                slot_clock,
-                config=sigma_config,
-            )
-            slot_clock.start()
+            # One slot clock drives every edge agent so all receiver-side
+            # routers revoke/grant on the same slot boundaries (§3.2).
+            self.slot_clock = SlotClock(self.network.sim, config.flid_ds_slot_s)
+            for router in self.network.receiver_edge_routers:
+                self.sigma_agents.append(
+                    SigmaRouterAgent(
+                        router,
+                        self.network.multicast,
+                        self.slot_clock,
+                        config=sigma_config,
+                    )
+                )
+            self.slot_clock.start()
         else:
-            install_igmp(self.network.right, self.network.multicast)
+            for router in self.network.receiver_edge_routers:
+                self.igmp_managers.append(install_igmp(router, self.network.multicast))
+
+    @property
+    def sigma(self) -> Optional[SigmaRouterAgent]:
+        """The first (on a dumbbell: the only) SIGMA edge agent."""
+        return self.sigma_agents[0] if self.sigma_agents else None
+
+    # ------------------------------------------------------------------
+    # declarative construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec, sigma_config: Optional[SigmaConfig] = None) -> "Scenario":
+        """Realise a declarative :class:`ScenarioSpec` into a live scenario."""
+        params = dict(spec.topology_params)
+        topology: Optional[TopologySpec] = None
+        dumbbell_config = None
+        if spec.topology == "dumbbell":
+            # Dumbbells always go through DumbbellConfig (sized from fair
+            # share × expected sessions) so parameter overrides — including
+            # seed and graft/prune delays — reach the realised network.
+            if params:
+                dumbbell_config = spec.config.dumbbell(
+                    spec.expected_sessions, spec.bottleneck_bps
+                )
+                for key, value in params.items():
+                    if not hasattr(dumbbell_config, key):
+                        raise TypeError(f"unknown dumbbell parameter {key!r}")
+                    setattr(dumbbell_config, key, value)
+        else:
+            topology = build_topology(spec.topology, **params)
+        scenario = cls(
+            spec.config,
+            spec.protected,
+            bottleneck_bps=spec.bottleneck_bps,
+            expected_sessions=spec.expected_sessions,
+            sigma_config=sigma_config,
+            topology=topology,
+            dumbbell_config=dumbbell_config,
+        )
+        for session in spec.sessions:
+            scenario.add_multicast_session(
+                session.session_id,
+                receivers=session.receivers,
+                misbehaving=tuple(session.misbehaving),
+                attack_start_s=session.attack_start_s,
+                receiver_start_times=(
+                    list(session.receiver_start_times)
+                    if session.receiver_start_times is not None
+                    else None
+                ),
+                receiver_access_delays=(
+                    list(session.receiver_access_delays)
+                    if session.receiver_access_delays is not None
+                    else None
+                ),
+                receiver_routers=(
+                    list(session.receiver_routers)
+                    if session.receiver_routers is not None
+                    else None
+                ),
+                track_overhead=session.track_overhead,
+                suppress_unsubscribed_groups=session.suppress_unsubscribed_groups,
+            )
+        for tcp in spec.tcp:
+            scenario.add_tcp_connection(
+                tcp.name,
+                start_s=tcp.start_s,
+                sender_router=tcp.sender_router,
+                receiver_router=tcp.receiver_router,
+            )
+        for cbr in spec.cbr:
+            scenario.add_onoff_cbr(
+                rate_bps=cbr.rate_bps,
+                on_s=cbr.on_s,
+                off_s=cbr.off_s,
+                active_window=(
+                    (cbr.active_window[0], cbr.active_window[1])
+                    if cbr.active_window is not None
+                    else None
+                ),
+                name=cbr.name,
+                sender_router=cbr.sender_router,
+                receiver_router=cbr.receiver_router,
+            )
+        return scenario
 
     # ------------------------------------------------------------------
     # multicast sessions
@@ -106,13 +218,15 @@ class Scenario:
         attack_start_s: float = 0.0,
         receiver_start_times: Optional[List[float]] = None,
         receiver_access_delays: Optional[List[Optional[float]]] = None,
+        receiver_routers: Optional[List[Optional[str]]] = None,
         track_overhead: bool = False,
         suppress_unsubscribed_groups: bool = True,
     ) -> MulticastSession:
         """Create one multicast session with its sender and receivers.
 
         ``misbehaving`` lists the (0-based) receiver indices that mount the
-        inflated-subscription attack starting at ``attack_start_s``.
+        inflated-subscription attack starting at ``attack_start_s``;
+        ``receiver_routers`` optionally pins receivers to named routers.
         """
         index = len(self.sessions) + 1
         session_id = session_id or f"mc{index}"
@@ -146,9 +260,12 @@ class Scenario:
         )
         start_times = receiver_start_times or [0.0] * receivers
         access_delays = receiver_access_delays or [None] * receivers
+        routers = receiver_routers or [None] * receivers
         for r_index in range(receivers):
             host = self.network.add_receiver(
-                f"{session_id}-rx{r_index + 1}", access_delay_s=access_delays[r_index]
+                f"{session_id}-rx{r_index + 1}",
+                access_delay_s=access_delays[r_index],
+                router=routers[r_index],
             )
             receiver = self._make_receiver(
                 spec, host, misbehaving=r_index in misbehaving, attack_start_s=attack_start_s
@@ -185,12 +302,18 @@ class Scenario:
     # ------------------------------------------------------------------
     # unicast traffic
     # ------------------------------------------------------------------
-    def add_tcp_connection(self, name: Optional[str] = None, start_s: float = 0.0) -> TcpConnection:
-        """Add a TCP Reno connection crossing the bottleneck left to right."""
+    def add_tcp_connection(
+        self,
+        name: Optional[str] = None,
+        start_s: float = 0.0,
+        sender_router: Optional[str] = None,
+        receiver_router: Optional[str] = None,
+    ) -> TcpConnection:
+        """Add a TCP Reno connection crossing the topology left to right."""
         index = len(self.tcp_connections) + 1
         name = name or f"tcp{index}"
-        source = self.network.add_sender(f"{name}-src")
-        sink_host = self.network.add_receiver(f"{name}-dst")
+        source = self.network.add_sender(f"{name}-src", router=sender_router)
+        sink_host = self.network.add_receiver(f"{name}-dst", router=receiver_router)
         self.network.build_routes()
         connection = TcpConnection.create(
             source, sink_host, port=self._allocate_port(), segment_bytes=self.config.packet_bytes, name=name
@@ -206,10 +329,12 @@ class Scenario:
         off_s: float = 5.0,
         active_window: Optional[Tuple[float, float]] = None,
         name: str = "cbr",
+        sender_router: Optional[str] = None,
+        receiver_router: Optional[str] = None,
     ) -> Tuple[OnOffCbrSource, CbrSink]:
-        """Add an on-off CBR session crossing the bottleneck."""
-        source_host = self.network.add_sender(f"{name}-src")
-        sink_host = self.network.add_receiver(f"{name}-dst")
+        """Add an on-off CBR session crossing the topology."""
+        source_host = self.network.add_sender(f"{name}-src", router=sender_router)
+        sink_host = self.network.add_receiver(f"{name}-dst", router=receiver_router)
         self.network.build_routes()
         port = self._allocate_port()
         sink = CbrSink(sink_host, port, name=f"{name}-sink")

@@ -1,0 +1,207 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a complete, serialisable description of one §5-style
+experiment: which topology to build (by name, from the simulator's topology
+registry), which multicast sessions to run (protocol variant, receiver
+placement, misbehaviour schedules), which TCP/CBR cross traffic to add, and
+the shared :class:`~repro.experiments.config.ExperimentConfig` knobs.
+
+Specs are plain frozen dataclasses with a canonical JSON form, so they can be
+
+* interpreted by :meth:`repro.experiments.scenario.Scenario.from_spec`,
+* shipped to worker processes by the parallel
+  :class:`~repro.experiments.runner.ExperimentRunner`,
+* hashed for result caching, and
+* registered under a name in :mod:`repro.experiments.registry`.
+
+The canonical JSON of a spec plus the seed inside its config fully determine
+an experiment's output bit-for-bit (the engine and the multicast forwarding
+plane are deterministic), which the property tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from .config import PAPER_DEFAULTS, ExperimentConfig
+
+__all__ = ["SessionDecl", "TcpDecl", "CbrDecl", "ScenarioSpec"]
+
+
+@dataclass(frozen=True)
+class SessionDecl:
+    """One multicast session of a scenario.
+
+    ``misbehaving`` lists the (0-based) receiver indices that mount the
+    inflated-subscription attack from ``attack_start_s``.  ``receiver_routers``
+    optionally pins each receiver to a named router of the topology; ``None``
+    entries (or omitting the field) fall back to the topology's round-robin
+    receiver placement.
+    """
+
+    session_id: str
+    receivers: int = 1
+    misbehaving: Tuple[int, ...] = ()
+    attack_start_s: float = 0.0
+    receiver_start_times: Optional[Tuple[float, ...]] = None
+    receiver_access_delays: Optional[Tuple[Optional[float], ...]] = None
+    receiver_routers: Optional[Tuple[Optional[str], ...]] = None
+    track_overhead: bool = False
+    suppress_unsubscribed_groups: bool = True
+
+    def __post_init__(self) -> None:
+        if self.receivers < 1:
+            raise ValueError("a session needs at least one receiver")
+        for index in self.misbehaving:
+            if not 0 <= index < self.receivers:
+                raise ValueError(f"misbehaving index {index} out of range")
+        for name, values in (
+            ("receiver_start_times", self.receiver_start_times),
+            ("receiver_access_delays", self.receiver_access_delays),
+            ("receiver_routers", self.receiver_routers),
+        ):
+            if values is not None and len(values) != self.receivers:
+                raise ValueError(f"{name} must have one entry per receiver")
+
+
+@dataclass(frozen=True)
+class TcpDecl:
+    """One TCP Reno connection crossing the topology."""
+
+    name: str
+    start_s: float = 0.0
+    sender_router: Optional[str] = None
+    receiver_router: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CbrDecl:
+    """One on-off CBR source crossing the topology."""
+
+    name: str = "cbr"
+    rate_bps: float = 100_000.0
+    on_s: float = 5.0
+    off_s: float = 5.0
+    active_window: Optional[Tuple[float, float]] = None
+    sender_router: Optional[str] = None
+    receiver_router: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one experiment run.
+
+    ``topology`` names a factory in :data:`repro.simulator.topology.TOPOLOGIES`
+    and ``topology_params`` are its keyword arguments.  For the default
+    ``dumbbell`` kind with no explicit parameters, the bottleneck is sized from
+    the config's fair share times ``expected_sessions`` (or ``bottleneck_bps``
+    when given), exactly as the imperative builder always did.
+    """
+
+    name: str
+    protected: bool
+    sessions: Tuple[SessionDecl, ...] = ()
+    tcp: Tuple[TcpDecl, ...] = ()
+    cbr: Tuple[CbrDecl, ...] = ()
+    topology: str = "dumbbell"
+    topology_params: Mapping[str, Any] = field(default_factory=dict)
+    expected_sessions: int = 1
+    bottleneck_bps: Optional[float] = None
+    duration_s: Optional[float] = None
+    record_series: bool = False
+    config: ExperimentConfig = PAPER_DEFAULTS
+
+    # ------------------------------------------------------------------
+    # derived values
+    # ------------------------------------------------------------------
+    @property
+    def effective_duration_s(self) -> float:
+        return self.config.duration_s if self.duration_s is None else self.duration_s
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    # ------------------------------------------------------------------
+    # functional updates
+    # ------------------------------------------------------------------
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        return replace(self, config=self.config.with_seed(seed))
+
+    def with_duration(self, duration_s: float) -> "ScenarioSpec":
+        return replace(self, duration_s=duration_s)
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form: nested dataclasses become dicts, tuples lists."""
+        payload = asdict(self)
+        payload["topology_params"] = dict(self.topology_params)
+        return payload
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace — stable for hashing."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        def _tuple(value, convert=lambda x: x):
+            return None if value is None else tuple(convert(v) for v in value)
+
+        sessions = tuple(
+            SessionDecl(
+                session_id=s["session_id"],
+                receivers=s.get("receivers", 1),
+                misbehaving=tuple(s.get("misbehaving", ())),
+                attack_start_s=s.get("attack_start_s", 0.0),
+                receiver_start_times=_tuple(s.get("receiver_start_times")),
+                receiver_access_delays=_tuple(s.get("receiver_access_delays")),
+                receiver_routers=_tuple(s.get("receiver_routers")),
+                track_overhead=s.get("track_overhead", False),
+                suppress_unsubscribed_groups=s.get("suppress_unsubscribed_groups", True),
+            )
+            for s in payload.get("sessions", ())
+        )
+        tcp = tuple(
+            TcpDecl(
+                name=t["name"],
+                start_s=t.get("start_s", 0.0),
+                sender_router=t.get("sender_router"),
+                receiver_router=t.get("receiver_router"),
+            )
+            for t in payload.get("tcp", ())
+        )
+        cbr = tuple(
+            CbrDecl(
+                name=c.get("name", "cbr"),
+                rate_bps=c.get("rate_bps", 100_000.0),
+                on_s=c.get("on_s", 5.0),
+                off_s=c.get("off_s", 5.0),
+                active_window=_tuple(c.get("active_window")),
+                sender_router=c.get("sender_router"),
+                receiver_router=c.get("receiver_router"),
+            )
+            for c in payload.get("cbr", ())
+        )
+        config = ExperimentConfig(**payload.get("config", {}))
+        return cls(
+            name=payload["name"],
+            protected=payload["protected"],
+            sessions=sessions,
+            tcp=tcp,
+            cbr=cbr,
+            topology=payload.get("topology", "dumbbell"),
+            topology_params=dict(payload.get("topology_params", {})),
+            expected_sessions=payload.get("expected_sessions", 1),
+            bottleneck_bps=payload.get("bottleneck_bps"),
+            duration_s=payload.get("duration_s"),
+            record_series=payload.get("record_series", False),
+            config=config,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))

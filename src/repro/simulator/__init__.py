@@ -34,9 +34,31 @@ from .packet import DEFAULT_DATA_PACKET_BYTES, Packet, PacketFactory
 from .queues import DropTailQueue, ECNMarkingQueue, QueueStats
 from .rng import RandomStreams
 from .routing import RoutingError, compute_routes, shortest_path
-from .topology import DumbbellConfig, DumbbellNetwork, Network
+from .topology import (
+    TOPOLOGIES,
+    DumbbellConfig,
+    DumbbellNetwork,
+    LinkSpec,
+    Network,
+    NetworkGraph,
+    TopologySpec,
+    build_topology,
+    binary_tree_topology,
+    dumbbell_topology,
+    parking_lot_topology,
+    star_topology,
+)
 
 __all__ = [
+    "TOPOLOGIES",
+    "LinkSpec",
+    "NetworkGraph",
+    "TopologySpec",
+    "build_topology",
+    "binary_tree_topology",
+    "dumbbell_topology",
+    "parking_lot_topology",
+    "star_topology",
     "MULTICAST_BASE",
     "GroupAddress",
     "GroupAddressAllocator",

@@ -134,7 +134,12 @@ class MulticastRoutingService:
             return cached
         links: List[Link] = []
         seen: set[int] = set()
-        for host in self._members.get(int(group), set()):
+        # Member sets hash hosts by identity, so raw set order varies between
+        # processes; replicating in address order keeps packet interleaving —
+        # and therefore drop patterns — byte-identical across runs and across
+        # the serial and process-pool experiment runner paths.
+        members = sorted(self._members.get(int(group), ()), key=lambda h: int(h.address))
+        for host in members:
             link = router.route_for(host.address)
             if link is None:
                 continue

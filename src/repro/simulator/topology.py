@@ -2,33 +2,62 @@
 
 ``Network`` is the container that owns the simulator, the nodes, the links,
 the unicast routing computation and the multicast routing service.  On top of
-it, :class:`DumbbellNetwork` builds the single-bottleneck topology used
-throughout the paper's evaluation (§5.1):
+it sit two layers:
 
-* every *session* gets its own sender host attached to the left-hand router
-  and its own receiver host(s) attached to the right-hand router;
-* the middle (bottleneck) link is shared by all sessions; its capacity is
-  normally ``fair_share × number_of_sessions``;
-* access links are 10 Mbps with 10 ms propagation delay, the bottleneck has a
-  20 ms delay, and every queue holds two bandwidth-delay products.
+* :class:`TopologySpec` / :class:`NetworkGraph` — a declarative description
+  of an arbitrary router graph (named routers, per-link bandwidth, delay,
+  buffer and queue discipline, plus designated sender/receiver attachment
+  routers) and the builder that realises it.  Factory functions produce the
+  specs for the named topologies — ``dumbbell``, ``parking-lot`` (chain of
+  bottlenecks), ``star`` and ``binary-tree`` — and the :data:`TOPOLOGIES`
+  registry makes them addressable by name from scenario specifications.
+* :class:`DumbbellNetwork` — the single-bottleneck topology used throughout
+  the paper's evaluation (§5.1), now just the ``dumbbell`` factory realised
+  by :class:`NetworkGraph` with convenience accessors: every *session* gets
+  its own sender host attached to the left-hand router and receiver host(s)
+  on the right; the shared middle link's capacity is normally
+  ``fair_share × number_of_sessions``; access links are 10 Mbps with 10 ms
+  propagation delay, the bottleneck has a 20 ms delay, and every queue holds
+  two bandwidth-delay products.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .address import GroupAddress, GroupAddressAllocator, NodeAddress
 from .engine import Simulator
 from .link import Link, default_buffer_bytes
 from .multicast import MulticastRoutingService
 from .node import ControlChannel, Host, Node, Router
-from .queues import DropTailQueue
+from .queues import DropTailQueue, ECNMarkingQueue
 from .routing import compute_routes
 from .rng import RandomStreams
 
-__all__ = ["Network", "DumbbellNetwork", "DumbbellConfig"]
+__all__ = [
+    "Network",
+    "NetworkGraph",
+    "DumbbellNetwork",
+    "DumbbellConfig",
+    "LinkSpec",
+    "TopologySpec",
+    "TOPOLOGIES",
+    "QUEUE_DISCIPLINES",
+    "build_topology",
+    "dumbbell_topology",
+    "parking_lot_topology",
+    "star_topology",
+    "binary_tree_topology",
+]
+
+#: Queue disciplines addressable from :class:`LinkSpec`.  Each factory takes
+#: the queue capacity in bytes and returns a queue instance.
+QUEUE_DISCIPLINES: Dict[str, Callable[[int], DropTailQueue]] = {
+    "droptail": DropTailQueue,
+    "ecn": ECNMarkingQueue,
+}
 
 
 class Network:
@@ -88,15 +117,23 @@ class Network:
         delay_s: float,
         buffer_bytes: Optional[int] = None,
         buffer_bdp_multiple: float = 2.0,
+        queue: str = "droptail",
     ) -> Tuple[Link, Link]:
         """Connect ``a`` and ``b`` with two simplex links (one per direction)."""
         if buffer_bytes is None:
             buffer_bytes = default_buffer_bytes(bandwidth_bps, delay_s, buffer_bdp_multiple)
+        try:
+            make_queue = QUEUE_DISCIPLINES[queue]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown queue discipline {queue!r}; "
+                f"known: {sorted(QUEUE_DISCIPLINES)}"
+            ) from exc
         forward = Link(
-            self.sim, a, b, bandwidth_bps, delay_s, DropTailQueue(buffer_bytes)
+            self.sim, a, b, bandwidth_bps, delay_s, make_queue(buffer_bytes)
         )
         backward = Link(
-            self.sim, b, a, bandwidth_bps, delay_s, DropTailQueue(buffer_bytes)
+            self.sim, b, a, bandwidth_bps, delay_s, make_queue(buffer_bytes)
         )
         a.attach_link(forward)
         b.attach_link(backward)
@@ -166,6 +203,148 @@ class Network:
         self.sim.run(until=until)
 
 
+# ----------------------------------------------------------------------
+# declarative topology graph
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LinkSpec:
+    """One duplex router-to-router link of a :class:`TopologySpec`."""
+
+    a: str
+    b: str
+    bandwidth_bps: float
+    delay_s: float
+    buffer_bytes: Optional[int] = None
+    buffer_bdp_multiple: float = 2.0
+    queue: str = "droptail"
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative description of a router graph.
+
+    Hosts are not part of the spec: experiment layers attach sender and
+    receiver hosts on demand, by default round-robin over the designated
+    ``sender_routers`` / ``receiver_routers`` (explicit per-host placement is
+    also possible).  Access links use the shared bandwidth/delay below unless
+    the caller overrides them per host.
+    """
+
+    kind: str
+    routers: Tuple[str, ...]
+    links: Tuple[LinkSpec, ...]
+    sender_routers: Tuple[str, ...]
+    receiver_routers: Tuple[str, ...]
+    access_bandwidth_bps: float = 10_000_000.0
+    access_delay_s: float = 0.010
+
+    def __post_init__(self) -> None:
+        known = set(self.routers)
+        if len(known) != len(self.routers):
+            raise ValueError("router names must be unique")
+        for spec in self.links:
+            if spec.a not in known or spec.b not in known:
+                raise ValueError(f"link {spec.a!r}-{spec.b!r} references unknown router")
+        for name in self.sender_routers + self.receiver_routers:
+            if name not in known:
+                raise ValueError(f"attachment router {name!r} is not in the spec")
+        if not self.sender_routers or not self.receiver_routers:
+            raise ValueError("spec needs at least one sender and one receiver router")
+
+
+class NetworkGraph(Network):
+    """A :class:`Network` realised from a :class:`TopologySpec`.
+
+    Provides the host-attachment API the experiment layer builds on:
+    :meth:`add_sender` / :meth:`add_receiver` hang hosts off the designated
+    attachment routers (round-robin by default, or an explicit ``router=``).
+    """
+
+    def __init__(
+        self,
+        spec: TopologySpec,
+        seed: int = 0,
+        graft_delay_s: float = 0.02,
+        prune_delay_s: float = 0.02,
+    ) -> None:
+        super().__init__(
+            seed=seed, graft_delay_s=graft_delay_s, prune_delay_s=prune_delay_s
+        )
+        self.spec = spec
+        for name in spec.routers:
+            self.add_router(name)
+        for link in spec.links:
+            self.duplex_link(
+                self.nodes[link.a],
+                self.nodes[link.b],
+                link.bandwidth_bps,
+                link.delay_s,
+                buffer_bytes=link.buffer_bytes,
+                buffer_bdp_multiple=link.buffer_bdp_multiple,
+                queue=link.queue,
+            )
+        self._sender_count = 0
+        self._receiver_count = 0
+        self._sender_cursor = 0
+        self._receiver_cursor = 0
+
+    # ------------------------------------------------------------------
+    def _attachment_router(self, router: Optional[str], pool: Sequence[str], cursor: int) -> Router:
+        if router is not None:
+            return self.router(router)
+        return self.router(pool[cursor % len(pool)])
+
+    def add_sender(
+        self,
+        name: Optional[str] = None,
+        access_delay_s: Optional[float] = None,
+        router: Optional[str] = None,
+    ) -> Host:
+        """Attach a traffic source to a sender-side router."""
+        edge = self._attachment_router(router, self.spec.sender_routers, self._sender_cursor)
+        if router is None:
+            self._sender_cursor += 1
+        self._sender_count += 1
+        host = self.add_host(name or f"sender{self._sender_count}")
+        self.attach_host(
+            host,
+            edge,
+            self.spec.access_bandwidth_bps,
+            self.spec.access_delay_s if access_delay_s is None else access_delay_s,
+        )
+        return host
+
+    def add_receiver(
+        self,
+        name: Optional[str] = None,
+        access_delay_s: Optional[float] = None,
+        router: Optional[str] = None,
+    ) -> Host:
+        """Attach a traffic sink to a receiver-side router."""
+        edge = self._attachment_router(router, self.spec.receiver_routers, self._receiver_cursor)
+        if router is None:
+            self._receiver_cursor += 1
+        self._receiver_count += 1
+        host = self.add_host(name or f"receiver{self._receiver_count}")
+        self.attach_host(
+            host,
+            edge,
+            self.spec.access_bandwidth_bps,
+            self.spec.access_delay_s if access_delay_s is None else access_delay_s,
+        )
+        return host
+
+    @property
+    def receiver_edge_routers(self) -> List[Router]:
+        """The routers receivers attach to (where group management lives)."""
+        return [self.router(name) for name in self.spec.receiver_routers]
+
+    @property
+    def edge_router(self) -> Router:
+        """The first receiver-side router (the only one on a dumbbell)."""
+        return self.router(self.spec.receiver_routers[0])
+
+
 @dataclass
 class DumbbellConfig:
     """Parameters of the §5.1 single-bottleneck topology."""
@@ -209,61 +388,207 @@ class DumbbellConfig:
         return config
 
 
-class DumbbellNetwork(Network):
+class DumbbellNetwork(NetworkGraph):
     """The paper's evaluation topology: left router — bottleneck — right router.
 
     Senders attach on the left, receivers on the right; every session's path
     is therefore three links long with the bottleneck in the middle, exactly
-    as described in §5.1.
+    as described in §5.1.  This is the ``dumbbell`` factory of the general
+    :class:`NetworkGraph` plus the accessors experiments historically used.
     """
 
     def __init__(self, config: Optional[DumbbellConfig] = None) -> None:
         self.config = config or DumbbellConfig()
         super().__init__(
+            dumbbell_topology(self.config),
             seed=self.config.seed,
             graft_delay_s=self.config.graft_delay_s,
             prune_delay_s=self.config.prune_delay_s,
         )
-        self.left = self.add_router("left")
-        self.right = self.add_router("right")
-        self.bottleneck, self.bottleneck_reverse = self.duplex_link(
-            self.left,
-            self.right,
-            self.config.bottleneck_bandwidth_bps,
-            self.config.bottleneck_delay_s,
-            buffer_bytes=self.config.bottleneck_buffer_bytes(),
-        )
-        self._sender_count = 0
-        self._receiver_count = 0
+        self.left = self.router("left")
+        self.right = self.router("right")
+        self.bottleneck = self.find_link(self.left, self.right)
+        self.bottleneck_reverse = self.find_link(self.right, self.left)
 
-    # ------------------------------------------------------------------
-    def add_sender(self, name: Optional[str] = None, access_delay_s: Optional[float] = None) -> Host:
-        """Attach a traffic source to the left-hand router."""
-        self._sender_count += 1
-        host = self.add_host(name or f"sender{self._sender_count}")
-        self.attach_host(
-            host,
-            self.left,
-            self.config.access_bandwidth_bps,
-            self.config.access_delay_s if access_delay_s is None else access_delay_s,
-        )
-        return host
 
-    def add_receiver(
-        self, name: Optional[str] = None, access_delay_s: Optional[float] = None
-    ) -> Host:
-        """Attach a traffic sink to the right-hand (edge) router."""
-        self._receiver_count += 1
-        host = self.add_host(name or f"receiver{self._receiver_count}")
-        self.attach_host(
-            host,
-            self.right,
-            self.config.access_bandwidth_bps,
-            self.config.access_delay_s if access_delay_s is None else access_delay_s,
-        )
-        return host
+# ----------------------------------------------------------------------
+# named topology factories
+# ----------------------------------------------------------------------
+def _chain_buffer_bytes(
+    bandwidth_bps: float,
+    path_rtt_s: float,
+    buffer_bdp_multiple: float,
+) -> int:
+    """Queue capacity of ``buffer_bdp_multiple`` path BDPs with a sane floor.
 
-    @property
-    def edge_router(self) -> Router:
-        """The receiver-side edge router, where group access control lives."""
-        return self.right
+    Mirrors :meth:`DumbbellConfig.bottleneck_buffer_bytes`: sizing on the
+    path round-trip time rather than the single hop's delay keeps small
+    bottlenecks from degenerating to a couple-of-packets buffer.
+    """
+    bdp_bytes = bandwidth_bps * path_rtt_s / 8.0
+    return max(int(buffer_bdp_multiple * bdp_bytes), 4 * 1600)
+
+
+def dumbbell_topology(config: Optional[DumbbellConfig] = None, **overrides) -> TopologySpec:
+    """The §5.1 single-bottleneck dumbbell as a :class:`TopologySpec`."""
+    if config is None:
+        config = DumbbellConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a DumbbellConfig or keyword overrides, not both")
+    return TopologySpec(
+        kind="dumbbell",
+        routers=("left", "right"),
+        links=(
+            LinkSpec(
+                "left",
+                "right",
+                config.bottleneck_bandwidth_bps,
+                config.bottleneck_delay_s,
+                buffer_bytes=config.bottleneck_buffer_bytes(),
+            ),
+        ),
+        sender_routers=("left",),
+        receiver_routers=("right",),
+        access_bandwidth_bps=config.access_bandwidth_bps,
+        access_delay_s=config.access_delay_s,
+    )
+
+
+def parking_lot_topology(
+    hops: int = 3,
+    bottleneck_bandwidth_bps: float = 1_000_000.0,
+    bottleneck_delay_s: float = 0.020,
+    access_bandwidth_bps: float = 10_000_000.0,
+    access_delay_s: float = 0.010,
+    buffer_bdp_multiple: float = 2.0,
+) -> TopologySpec:
+    """A chain of ``hops`` equal bottlenecks (the classic parking lot).
+
+    Senders attach at the head router ``r0``; receivers round-robin over the
+    downstream routers ``r1..r<hops>``, so a multi-receiver session spans
+    several bottlenecks while cross traffic can enter at any point of the
+    chain.
+    """
+    if hops < 1:
+        raise ValueError("parking lot needs at least one bottleneck hop")
+    routers = tuple(f"r{i}" for i in range(hops + 1))
+    path_rtt_s = 2.0 * (2.0 * access_delay_s + hops * bottleneck_delay_s)
+    buffer_bytes = _chain_buffer_bytes(
+        bottleneck_bandwidth_bps, path_rtt_s, buffer_bdp_multiple
+    )
+    links = tuple(
+        LinkSpec(
+            routers[i],
+            routers[i + 1],
+            bottleneck_bandwidth_bps,
+            bottleneck_delay_s,
+            buffer_bytes=buffer_bytes,
+        )
+        for i in range(hops)
+    )
+    return TopologySpec(
+        kind="parking-lot",
+        routers=routers,
+        links=links,
+        sender_routers=(routers[0],),
+        receiver_routers=routers[1:],
+        access_bandwidth_bps=access_bandwidth_bps,
+        access_delay_s=access_delay_s,
+    )
+
+
+def star_topology(
+    arms: int = 4,
+    arm_bandwidth_bps: float = 1_000_000.0,
+    arm_delay_s: float = 0.020,
+    access_bandwidth_bps: float = 10_000_000.0,
+    access_delay_s: float = 0.010,
+    buffer_bdp_multiple: float = 2.0,
+) -> TopologySpec:
+    """A core router with ``arms`` independently-bottlenecked edge routers.
+
+    Senders attach at the core; receivers round-robin over the arms, so each
+    arm link is a private bottleneck and every arm router runs its own group
+    manager (IGMP or SIGMA).
+    """
+    if arms < 1:
+        raise ValueError("star needs at least one arm")
+    arm_names = tuple(f"arm{i + 1}" for i in range(arms))
+    path_rtt_s = 2.0 * (2.0 * access_delay_s + arm_delay_s)
+    buffer_bytes = _chain_buffer_bytes(arm_bandwidth_bps, path_rtt_s, buffer_bdp_multiple)
+    links = tuple(
+        LinkSpec("core", arm, arm_bandwidth_bps, arm_delay_s, buffer_bytes=buffer_bytes)
+        for arm in arm_names
+    )
+    return TopologySpec(
+        kind="star",
+        routers=("core",) + arm_names,
+        links=links,
+        sender_routers=("core",),
+        receiver_routers=arm_names,
+        access_bandwidth_bps=access_bandwidth_bps,
+        access_delay_s=access_delay_s,
+    )
+
+
+def binary_tree_topology(
+    depth: int = 3,
+    link_bandwidth_bps: float = 1_000_000.0,
+    link_delay_s: float = 0.010,
+    access_bandwidth_bps: float = 10_000_000.0,
+    access_delay_s: float = 0.010,
+    buffer_bdp_multiple: float = 2.0,
+) -> TopologySpec:
+    """A complete binary tree of routers, ``depth`` levels deep.
+
+    The sender attaches at the root ``t0``; receivers round-robin over the
+    ``2**(depth-1)`` leaves.  With uniform link capacities the links nearest
+    the root carry the aggregated load and become the bottlenecks, the shape
+    a single-source multicast distribution tree stresses.
+    """
+    if depth < 2:
+        raise ValueError("binary tree needs depth >= 2")
+    count = 2**depth - 1
+    routers = tuple(f"t{i}" for i in range(count))
+    path_rtt_s = 2.0 * (2.0 * access_delay_s + depth * link_delay_s)
+    buffer_bytes = _chain_buffer_bytes(link_bandwidth_bps, path_rtt_s, buffer_bdp_multiple)
+    links = tuple(
+        LinkSpec(
+            routers[(child - 1) // 2],
+            routers[child],
+            link_bandwidth_bps,
+            link_delay_s,
+            buffer_bytes=buffer_bytes,
+        )
+        for child in range(1, count)
+    )
+    first_leaf = 2 ** (depth - 1) - 1
+    return TopologySpec(
+        kind="binary-tree",
+        routers=routers,
+        links=links,
+        sender_routers=(routers[0],),
+        receiver_routers=routers[first_leaf:],
+        access_bandwidth_bps=access_bandwidth_bps,
+        access_delay_s=access_delay_s,
+    )
+
+
+#: Named topology factories addressable from scenario specifications.
+TOPOLOGIES: Dict[str, Callable[..., TopologySpec]] = {
+    "dumbbell": dumbbell_topology,
+    "parking-lot": parking_lot_topology,
+    "star": star_topology,
+    "binary-tree": binary_tree_topology,
+}
+
+
+def build_topology(kind: str, **params) -> TopologySpec:
+    """Build the named topology's spec with factory keyword ``params``."""
+    try:
+        factory = TOPOLOGIES[kind]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown topology {kind!r}; known: {sorted(TOPOLOGIES)}"
+        ) from exc
+    return factory(**params)

@@ -57,9 +57,14 @@ class TcpRenoSender:
         # without it, same-RTT Reno flows behind one drop-tail queue phase-lock
         # and share the bottleneck very unevenly.
         self.send_jitter_s = send_jitter_s
+        import hashlib
         import random as _random
 
-        self._jitter_rng = _random.Random(hash((host.name, port)) & 0xFFFFFFFF)
+        # Seed from a stable digest, not the built-in string hash: hash() is
+        # salted per process (PYTHONHASHSEED), which would make runs diverge
+        # between the serial and process-pool experiment runner paths.
+        digest = hashlib.sha256(f"tcp-jitter:{host.name}:{port}".encode()).digest()
+        self._jitter_rng = _random.Random(int.from_bytes(digest[:8], "big"))
         self._last_departure = 0.0
 
         # Congestion control state (window units are segments).
@@ -127,7 +132,10 @@ class TcpRenoSender:
             created_at=self.sim.now,
         )
         self.segments_sent += 1
-        if is_retransmission:
+        # A segment re-sent through the normal window path after a go-back-N
+        # rewind is still a retransmission (it sits in _retransmitted): count
+        # it and keep Karn's rule by never recording a send time for it.
+        if is_retransmission or seq in self._retransmitted:
             self.retransmissions += 1
             self._retransmitted.add(seq)
         else:
@@ -235,7 +243,18 @@ class TcpRenoSender:
         self.dup_acks = 0
         self.in_fast_recovery = False
         self.rto = min(MAX_RTO_S, self.rto * 2.0)
-        self._transmit(self.highest_acked + 1, is_retransmission=True)
+        # Go-back-N rewind (NS-2 Reno's t_seqno_ = highest_ack_ + 1): every
+        # unacknowledged segment is presumed lost and will be resent as the
+        # window reopens.  Without the rewind, flight_size stays inflated, the
+        # window never admits anything, and a flow that lost a burst trickles
+        # out one retransmission per (exponentially backed-off) RTO — starving
+        # it for the rest of the experiment.
+        for seq in range(self.highest_acked + 1, self.next_seq):
+            self._send_times.pop(seq, None)
+            self._retransmitted.add(seq)  # Karn: no RTT samples from resends
+        self.next_seq = self.highest_acked + 1
+        self._transmit(self.next_seq, is_retransmission=True)
+        self.next_seq += 1
         self._arm_rto(restart=True)
 
 

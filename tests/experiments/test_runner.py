@@ -1,0 +1,183 @@
+"""Tests of the parallel experiment runner: caching, grids, aggregation, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import aggregate_metrics, flatten_metrics
+from repro.experiments import (
+    ExperimentRunner,
+    PAPER_DEFAULTS,
+    RunResult,
+    ScenarioSpec,
+    SessionDecl,
+    execute_spec,
+    run_spec_json,
+    scenario_spec,
+    throughput_vs_sessions_spec,
+)
+
+FAST_CONFIG = PAPER_DEFAULTS.with_duration(6.0)
+
+
+def fast_spec(seed: int = 0) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="runner-fast",
+        protected=False,
+        sessions=(SessionDecl("mc"),),
+        duration_s=6.0,
+        config=FAST_CONFIG.with_seed(seed),
+    )
+
+
+class TestExecution:
+    def test_execute_spec_produces_metrics(self):
+        result = execute_spec(fast_spec())
+        assert result.scenario == "runner-fast"
+        assert result.metrics["multicast"]["mc"]["average_kbps"] > 50.0
+        assert result.metrics["multicast"]["mc"]["final_levels"][0] >= 1
+
+    def test_run_result_json_roundtrip(self):
+        result = execute_spec(fast_spec())
+        assert RunResult.from_json(result.to_json()).to_json() == result.to_json()
+
+    def test_run_spec_json_worker_contract(self):
+        payload = run_spec_json(fast_spec().to_json())
+        document = json.loads(payload)
+        assert document["scenario"] == "runner-fast"
+        assert document["seed"] == 0
+
+    def test_record_series_included_when_requested(self):
+        from dataclasses import replace
+
+        result = execute_spec(replace(fast_spec(), record_series=True))
+        series = result.metrics["multicast"]["mc"]["series"]
+        assert series and all(len(point) == 2 for point in series)
+
+
+class TestRunner:
+    def test_seed_sweep_orders_results_by_seed(self):
+        results = ExperimentRunner(jobs=1).run_seed_sweep(fast_spec(), (0, 1, 2))
+        assert [result.seed for result in results] == [0, 1, 2]
+
+    def test_grid_crosses_overrides_and_seeds(self):
+        results = ExperimentRunner(jobs=1).run_grid(
+            fast_spec(),
+            seeds=(0, 1),
+            overrides=[{"duration_s": 5.0}, {"duration_s": 6.0}],
+        )
+        assert [(round(r.duration_s, 1), r.seed) for r in results] == [
+            (5.0, 0),
+            (5.0, 1),
+            (6.0, 0),
+            (6.0, 1),
+        ]
+
+    def test_cache_hit_skips_execution(self, tmp_path):
+        runner = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        first = runner.run_one(fast_spec())
+        assert (runner.cache_hits, runner.cache_misses) == (0, 1)
+
+        again = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        second = again.run_one(fast_spec())
+        assert (again.cache_hits, again.cache_misses) == (1, 0)
+        assert second.to_json() == first.to_json()
+
+    def test_cache_key_depends_on_seed(self):
+        assert ExperimentRunner.cache_key(fast_spec(0)) != ExperimentRunner.cache_key(
+            fast_spec(1)
+        )
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(jobs=0)
+
+
+class TestFigure8OnRunner:
+    def test_throughput_sweep_uses_runner_and_caches(self, tmp_path):
+        from repro.experiments import run_throughput_vs_sessions
+
+        runner = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        first = run_throughput_vs_sessions(
+            protected=False,
+            session_counts=(1, 2),
+            config=FAST_CONFIG,
+            duration_s=6.0,
+            runner=runner,
+        )
+        assert set(first.average_kbps) == {1, 2}
+        assert runner.cache_misses == 2
+
+        cached_runner = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        second = run_throughput_vs_sessions(
+            protected=False,
+            session_counts=(1, 2),
+            config=FAST_CONFIG,
+            duration_s=6.0,
+            runner=cached_runner,
+        )
+        assert cached_runner.cache_hits == 2
+        assert second.average_kbps == first.average_kbps
+        assert second.individual_kbps == first.individual_kbps
+
+
+class TestAggregation:
+    def test_flatten_skips_non_numeric_leaves(self):
+        flat = flatten_metrics(
+            {"a": {"b": [1.0, 2.0]}, "label": "text", "none": None, "flag": True}
+        )
+        assert flat == {"a.b[0]": 1.0, "a.b[1]": 2.0}
+
+    def test_aggregate_mean_min_max(self):
+        aggregate = aggregate_metrics([{"x": 1.0}, {"x": 3.0}])
+        assert aggregate["x"] == {"mean": 2.0, "min": 1.0, "max": 3.0, "count": 2}
+
+    def test_aggregate_over_seed_sweep(self):
+        results = ExperimentRunner(jobs=1).run_seed_sweep(fast_spec(), (0, 1))
+        aggregate = aggregate_metrics([result.metrics for result in results])
+        key = "multicast.mc.average_kbps"
+        assert aggregate[key]["count"] == 2
+        assert aggregate[key]["min"] <= aggregate[key]["mean"] <= aggregate[key]["max"]
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure8-throughput" in out
+        assert "parking-lot-attack" in out
+
+    def test_topologies_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["topologies"]) == 0
+        assert "binary-tree" in capsys.readouterr().out
+
+    def test_run_command_writes_results(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "run",
+                "figure8-throughput",
+                "--seeds",
+                "2",
+                "--duration",
+                "5",
+                "--param",
+                "count=1",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avg goodput" in out
+        runs = json.loads((tmp_path / "figure8-throughput-runs.json").read_text())
+        assert [run["seed"] for run in runs] == [0, 1]
+        aggregate = json.loads(
+            (tmp_path / "figure8-throughput-aggregate.json").read_text()
+        )
+        assert "multicast.mc1.average_kbps" in aggregate

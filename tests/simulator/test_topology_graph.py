@@ -1,0 +1,149 @@
+"""Tests of the declarative topology layer: specs, factories, NetworkGraph."""
+
+import pytest
+
+from repro.simulator import (
+    TOPOLOGIES,
+    DumbbellConfig,
+    DumbbellNetwork,
+    LinkSpec,
+    NetworkGraph,
+    TopologySpec,
+    binary_tree_topology,
+    build_topology,
+    dumbbell_topology,
+    parking_lot_topology,
+    star_topology,
+)
+from repro.simulator.routing import shortest_path
+
+
+class TestTopologySpecValidation:
+    def test_unknown_link_endpoint_rejected(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            TopologySpec(
+                kind="bad",
+                routers=("a",),
+                links=(LinkSpec("a", "b", 1e6, 0.01),),
+                sender_routers=("a",),
+                receiver_routers=("a",),
+            )
+
+    def test_unknown_attachment_router_rejected(self):
+        with pytest.raises(ValueError, match="attachment router"):
+            TopologySpec(
+                kind="bad",
+                routers=("a", "b"),
+                links=(LinkSpec("a", "b", 1e6, 0.01),),
+                sender_routers=("a",),
+                receiver_routers=("c",),
+            )
+
+    def test_duplicate_router_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            TopologySpec(
+                kind="bad",
+                routers=("a", "a"),
+                links=(),
+                sender_routers=("a",),
+                receiver_routers=("a",),
+            )
+
+    def test_unknown_queue_discipline_rejected(self):
+        spec = TopologySpec(
+            kind="bad-queue",
+            routers=("a", "b"),
+            links=(LinkSpec("a", "b", 1e6, 0.01, queue="red-lite"),),
+            sender_routers=("a",),
+            receiver_routers=("b",),
+        )
+        with pytest.raises(ValueError, match="queue discipline"):
+            NetworkGraph(spec)
+
+
+class TestFactories:
+    def test_registry_names(self):
+        assert set(TOPOLOGIES) == {"dumbbell", "parking-lot", "star", "binary-tree"}
+
+    def test_dumbbell_factory_matches_config(self):
+        config = DumbbellConfig(bottleneck_bandwidth_bps=2e6)
+        spec = dumbbell_topology(config)
+        assert spec.routers == ("left", "right")
+        assert len(spec.links) == 1
+        assert spec.links[0].bandwidth_bps == 2e6
+        assert spec.links[0].buffer_bytes == config.bottleneck_buffer_bytes()
+
+    def test_parking_lot_shape(self):
+        spec = parking_lot_topology(hops=4)
+        assert len(spec.routers) == 5
+        assert len(spec.links) == 4
+        assert spec.sender_routers == ("r0",)
+        assert spec.receiver_routers == ("r1", "r2", "r3", "r4")
+
+    def test_star_shape(self):
+        spec = star_topology(arms=3)
+        assert spec.routers == ("core", "arm1", "arm2", "arm3")
+        assert all(link.a == "core" for link in spec.links)
+        assert spec.receiver_routers == ("arm1", "arm2", "arm3")
+
+    def test_binary_tree_shape(self):
+        spec = binary_tree_topology(depth=3)
+        assert len(spec.routers) == 7  # 2^3 - 1
+        assert len(spec.links) == 6
+        assert spec.sender_routers == ("t0",)
+        assert spec.receiver_routers == ("t3", "t4", "t5", "t6")  # the leaves
+
+    def test_build_topology_by_name(self):
+        assert build_topology("star", arms=2).kind == "star"
+        with pytest.raises(ValueError, match="unknown topology"):
+            build_topology("moebius")
+
+    def test_factory_parameter_validation(self):
+        with pytest.raises(ValueError):
+            parking_lot_topology(hops=0)
+        with pytest.raises(ValueError):
+            binary_tree_topology(depth=1)
+        with pytest.raises(ValueError):
+            star_topology(arms=0)
+
+
+class TestNetworkGraph:
+    def test_round_robin_receiver_placement(self):
+        graph = NetworkGraph(star_topology(arms=3))
+        receivers = [graph.add_receiver() for _ in range(4)]
+        edges = [host.edge_router.name for host in receivers]
+        assert edges == ["arm1", "arm2", "arm3", "arm1"]
+
+    def test_explicit_router_placement(self):
+        graph = NetworkGraph(parking_lot_topology(hops=3))
+        host = graph.add_receiver(router="r2")
+        assert host.edge_router.name == "r2"
+
+    def test_sender_to_receiver_path_spans_the_chain(self):
+        graph = NetworkGraph(parking_lot_topology(hops=3))
+        sender = graph.add_sender()
+        receiver = graph.add_receiver(router="r3")
+        graph.build_routes()
+        path = [node.name for node in shortest_path(sender, receiver)]
+        assert path == [sender.name, "r0", "r1", "r2", "r3", receiver.name]
+
+    def test_tree_path_descends_from_root(self):
+        graph = NetworkGraph(binary_tree_topology(depth=3))
+        sender = graph.add_sender()
+        receiver = graph.add_receiver(router="t6")
+        graph.build_routes()
+        path = [node.name for node in shortest_path(sender, receiver)]
+        assert path == [sender.name, "t0", "t2", "t6", receiver.name]
+
+    def test_receiver_edge_routers(self):
+        graph = NetworkGraph(star_topology(arms=2))
+        assert [router.name for router in graph.receiver_edge_routers] == ["arm1", "arm2"]
+        assert graph.edge_router.name == "arm1"
+
+    def test_dumbbell_network_is_a_network_graph(self):
+        network = DumbbellNetwork()
+        assert isinstance(network, NetworkGraph)
+        assert network.spec.kind == "dumbbell"
+        assert network.bottleneck.src is network.left
+        assert network.bottleneck.dst is network.right
+        assert network.edge_router is network.right
