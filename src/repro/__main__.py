@@ -20,9 +20,21 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .analysis.reporting import aggregate_metrics, format_aggregate_table, format_table, write_json
+from .adversary import ADVERSARIES
+from .analysis.reporting import (
+    aggregate_metrics,
+    format_aggregate_table,
+    format_protection_table,
+    format_table,
+    write_json,
+)
 from .experiments import ExperimentRunner, list_scenarios, scenario_entry
 from .simulator.topology import TOPOLOGIES
+
+
+def _first_doc_line(obj) -> str:
+    """First docstring line, or empty (docstrings vanish under ``python -OO``)."""
+    return next(iter((obj.__doc__ or "").strip().splitlines()), "")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -33,10 +45,15 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 def _cmd_topologies(_args: argparse.Namespace) -> int:
     rows = [
-        (name, (factory.__doc__ or "").strip().splitlines()[0])
-        for name, factory in sorted(TOPOLOGIES.items())
+        (name, _first_doc_line(factory)) for name, factory in sorted(TOPOLOGIES.items())
     ]
     print(format_table(["topology", "description"], rows))
+    return 0
+
+
+def _cmd_adversaries(_args: argparse.Namespace) -> int:
+    rows = [(name, _first_doc_line(cls)) for name, cls in sorted(ADVERSARIES.items())]
+    print(format_table(["strategy", "description"], rows))
     return 0
 
 
@@ -88,6 +105,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             rows.append((result.seed, session_id, session["average_kbps"]))
     print()
     print(format_table(["seed", "session", "avg goodput (Kbps)"], rows))
+    for result in results:
+        protection = result.metrics.get("protection")
+        if protection:
+            print(f"\nprotection (seed {result.seed}):")
+            print(format_protection_table(protection))
     print()
     aggregate = aggregate_metrics([result.metrics for result in results])
     print(format_aggregate_table(aggregate))
@@ -112,6 +134,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list registered scenarios").set_defaults(func=_cmd_list)
     sub.add_parser("topologies", help="list named topologies").set_defaults(
         func=_cmd_topologies
+    )
+    sub.add_parser("adversaries", help="list registered adversary strategies").set_defaults(
+        func=_cmd_adversaries
     )
 
     run = sub.add_parser("run", help="run a registered scenario by name")

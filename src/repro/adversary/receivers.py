@@ -1,0 +1,161 @@
+"""Adversarial receivers: honest protocol machines driving attack strategies.
+
+An adversarial receiver is the corresponding honest receiver (FLID-DL or
+FLID-DS) with a stack of :class:`~repro.adversary.strategy.AttackStrategy`
+instances spliced into its slot-evaluation loop.  The honest pipeline stays
+available — most attackers keep playing it for the access it guarantees —
+and each strategy decides per slot whether to augment, rewrite or suppress
+the honest subscription decision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..multicast_cc.flid_dl import FlidDlReceiver
+from ..multicast_cc.flid_ds import FlidDsReceiver
+from ..multicast_cc.receiver_base import SlotRecord
+from ..multicast_cc.session import SessionSpec
+from ..simulator.node import Host
+from ..simulator.topology import Network
+from .context import AttackContext, COUNTER_KEYS
+from .strategy import AttackStrategy
+
+__all__ = ["AdversarialFlidDlReceiver", "AdversarialFlidDsReceiver"]
+
+
+class _AdversaryMixin:
+    """Strategy dispatch shared by the DL and DS adversarial receivers."""
+
+    def _init_adversary(self, strategies: Sequence[AttackStrategy]) -> None:
+        self._strategies: List[AttackStrategy] = list(strategies)
+        self._attack_ctx: Optional[AttackContext] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def strategies(self) -> List[AttackStrategy]:
+        return list(self._strategies)
+
+    @property
+    def attack_ctx(self) -> Optional[AttackContext]:
+        return self._attack_ctx
+
+    @property
+    def attacking(self) -> bool:
+        """True while at least one strategy's attack window is open."""
+        return any(s.started and not s.stopped for s in self._strategies)
+
+    def adversary_stats(self) -> Dict[str, int]:
+        """Attack counters (zeroes before the receiver joined the session)."""
+        if self._attack_ctx is None:
+            return dict.fromkeys(COUNTER_KEYS, 0)
+        return self._attack_ctx.stats()
+
+    # ------------------------------------------------------------------
+    def _join_session(self) -> None:
+        super()._join_session()
+        self._attack_ctx = AttackContext(self)
+        for strategy in self._strategies:
+            strategy.on_attach(self._attack_ctx)
+
+    def _apply_decision(self, evaluated_slot: int, record: SlotRecord, congested: bool) -> None:
+        ctx = self._attack_ctx
+        if ctx is None:
+            super()._apply_decision(evaluated_slot, record, congested)
+            return
+        now = self.sim.now
+        active: List[AttackStrategy] = []
+        for strategy in self._strategies:
+            if not strategy.started and strategy.active(now):
+                strategy.started = True
+                strategy.on_start(ctx)
+            elif (
+                strategy.started
+                and not strategy.stopped
+                and strategy.stop_s is not None
+                and now >= strategy.stop_s
+            ):
+                strategy.stopped = True
+                strategy.on_stop(ctx)
+            if strategy.started and not strategy.stopped:
+                active.append(strategy)
+
+        effective = congested
+        for strategy in active:
+            effective = strategy.filter_congestion(ctx, evaluated_slot, record, effective)
+
+        # Loss classification is only recomputed when some active strategy
+        # actually listens for it (the sets are rebuilt per call site).
+        listeners = [
+            s for s in active if type(s).on_loss is not AttackStrategy.on_loss
+        ]
+        if listeners:
+            # The same loss signal the honest pipeline classifies on: gap and
+            # tail losses always, starvation when the slot counted as congested.
+            lost = self._loss_signal_groups(record)
+            if congested:
+                lost |= self._starved_groups(record)
+            if lost:
+                for strategy in listeners:
+                    strategy.on_loss(ctx, evaluated_slot, set(lost))
+
+        suppress = False
+        for strategy in active:
+            if strategy.on_slot(ctx, evaluated_slot, record, effective):
+                suppress = True
+        if suppress:
+            ctx.suppressed_slots += 1
+        else:
+            super()._apply_decision(evaluated_slot, record, effective)
+
+        for strategy in active:
+            strategy.after_slot(ctx, evaluated_slot, record, effective)
+
+
+class AdversarialFlidDlReceiver(_AdversaryMixin, FlidDlReceiver):
+    """FLID-DL receiver mounting a stack of attack strategies."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        spec: SessionSpec,
+        strategies: Sequence[AttackStrategy],
+        bin_width_s: float = 1.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(network, host, spec, bin_width_s=bin_width_s, name=name)
+        self._init_adversary(strategies)
+
+
+class AdversarialFlidDsReceiver(_AdversaryMixin, FlidDsReceiver):
+    """FLID-DS receiver mounting a stack of attack strategies.
+
+    The honest DELTA pipeline keeps running (its fair-share keys are the only
+    access the attacker is guaranteed to keep); strategies additionally see
+    every key it reconstructs through :meth:`on_keys`.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        spec: SessionSpec,
+        strategies: Sequence[AttackStrategy],
+        key_bits: int = 16,
+        bin_width_s: float = 1.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            network, host, spec, key_bits=key_bits, bin_width_s=bin_width_s, name=name
+        )
+        self._init_adversary(strategies)
+
+    def _on_keys_reconstructed(self, governed_slot: int, keys: Dict[int, int]) -> None:
+        ctx = self._attack_ctx
+        if ctx is None:
+            return
+        now = self.sim.now
+        for strategy in self._strategies:
+            if strategy.started and not strategy.stopped and strategy.active(now):
+                strategy.on_keys(ctx, governed_slot, dict(keys))

@@ -1,0 +1,105 @@
+"""The strategy protocol: hook points an adversary can implement.
+
+A strategy is a small state machine driven by the receiver's slot evaluation
+loop.  Hooks fire in a fixed order per evaluated slot:
+
+1. :meth:`filter_congestion` — may rewrite the congestion verdict the honest
+   pipeline will see (e.g. mask losses);
+2. :meth:`on_loss` — fires when the slot detected losses in entitled groups;
+3. :meth:`on_slot` — pre-decision action; returning True suppresses the
+   honest subscription decision for this slot;
+4. the honest pipeline runs (unless suppressed); for FLID-DS it calls
+   :meth:`on_keys` with whatever DELTA keys it reconstructed;
+5. :meth:`after_slot` — post-decision action (key guessing, replay,
+   collusion submissions target ``slot + 2``, the governed slot).
+
+:meth:`on_start` / :meth:`on_stop` bracket the scheduled attack window; all
+slot hooks fire only while the window is open.  Strategies draw randomness
+exclusively from ``self.rng``, a seeded stream handed over at build time, so
+experiments stay byte-deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Mapping, Optional, Set, TYPE_CHECKING
+
+from .context import AttackContext
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (import cycle guard)
+    from ..multicast_cc.receiver_base import SlotRecord
+
+__all__ = ["AttackStrategy"]
+
+
+class AttackStrategy:
+    """Base class of all adversary strategies (all hooks default to no-ops)."""
+
+    #: Registry name; set by concrete strategies.
+    name: str = ""
+
+    def __init__(
+        self,
+        start_s: float = 0.0,
+        stop_s: Optional[float] = None,
+        intensity: float = 1.0,
+        params: Optional[Mapping[str, Any]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.start_s = start_s
+        self.stop_s = stop_s
+        self.intensity = intensity
+        self.params: Dict[str, Any] = dict(params or {})
+        #: Per-strategy seeded stream — the only randomness source allowed.
+        self.rng = rng or random.Random(0)
+        self.started = False
+        self.stopped = False
+
+    # ------------------------------------------------------------------
+    # schedule
+    # ------------------------------------------------------------------
+    def active(self, now: float) -> bool:
+        if now < self.start_s:
+            return False
+        return self.stop_s is None or now < self.stop_s
+
+    def param(self, key: str, default: Any) -> Any:
+        return self.params.get(key, default)
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks
+    # ------------------------------------------------------------------
+    def on_attach(self, ctx: AttackContext) -> None:
+        """Called once when the receiver joins the session."""
+
+    def on_start(self, ctx: AttackContext) -> None:
+        """Called at the first slot boundary inside the attack window."""
+
+    def on_stop(self, ctx: AttackContext) -> None:
+        """Called at the first slot boundary past ``stop_s``."""
+
+    # ------------------------------------------------------------------
+    # per-slot hooks
+    # ------------------------------------------------------------------
+    def filter_congestion(
+        self, ctx: AttackContext, slot: int, record: SlotRecord, congested: bool
+    ) -> bool:
+        """Rewrite the congestion verdict the honest pipeline will act on."""
+        return congested
+
+    def on_loss(self, ctx: AttackContext, slot: int, lost_groups: Set[int]) -> None:
+        """Called when the evaluated slot lost packets in entitled groups."""
+
+    def on_slot(
+        self, ctx: AttackContext, slot: int, record: SlotRecord, congested: bool
+    ) -> bool:
+        """Pre-decision action; return True to suppress the honest decision."""
+        return False
+
+    def on_keys(self, ctx: AttackContext, governed_slot: int, keys: Dict[int, int]) -> None:
+        """Called with the DELTA keys the honest pipeline reconstructed."""
+
+    def after_slot(
+        self, ctx: AttackContext, slot: int, record: SlotRecord, congested: bool
+    ) -> None:
+        """Post-decision action; submissions here target slot ``slot + 2``."""

@@ -1,11 +1,18 @@
-"""Analysis helpers: fairness, convergence and report formatting."""
+"""Analysis helpers: fairness, convergence, protection and report formatting."""
 
 from .fairness import bandwidth_shares, jain_index, max_min_ratio
 from .convergence import convergence_time, levels_converged
+from .golden import scenario_trace_digest, subscription_vector
+from .protection import (
+    excess_goodput_kbps,
+    honest_baseline_kbps,
+    time_to_containment_s,
+)
 from .reporting import (
     aggregate_metrics,
     flatten_metrics,
     format_aggregate_table,
+    format_protection_table,
     format_series_table,
     format_table,
     write_json,
@@ -17,9 +24,15 @@ __all__ = [
     "max_min_ratio",
     "convergence_time",
     "levels_converged",
+    "scenario_trace_digest",
+    "subscription_vector",
+    "excess_goodput_kbps",
+    "honest_baseline_kbps",
+    "time_to_containment_s",
     "aggregate_metrics",
     "flatten_metrics",
     "format_aggregate_table",
+    "format_protection_table",
     "format_series_table",
     "format_table",
     "write_json",

@@ -1,0 +1,118 @@
+"""Protection metrics: did SIGMA/DELTA contain an attack, and how fast?
+
+Two quantities summarise the paper's §5.2 claim for any attack scenario:
+
+* **excess goodput** — the attacker's goodput during the attack window minus
+  the honest baseline (the mean goodput honest multicast receivers achieved
+  over the same window).  Unprotected Figure 1 shows a large positive
+  excess; a protected run should hold it near zero.
+* **time to containment** — how long after the attack onset the attacker's
+  subscription level returns to (and stays within) its honest entitlement.
+  ``0.0`` means the attack never lifted the subscription above the bound;
+  ``None`` means it was never contained (the Figure 1 outcome).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "honest_baseline_kbps",
+    "excess_goodput_kbps",
+    "time_to_containment_s",
+    "goodput_containment_s",
+    "combined_containment_s",
+]
+
+
+def honest_baseline_kbps(
+    honest_rates_kbps: Sequence[float], fallback_kbps: float
+) -> float:
+    """Mean goodput of the honest receivers, or ``fallback_kbps`` without any.
+
+    The fallback (typically the configured fair share) covers scenarios whose
+    every multicast receiver is an attacker.
+    """
+    rates = list(honest_rates_kbps)
+    if not rates:
+        return fallback_kbps
+    return sum(rates) / len(rates)
+
+
+def excess_goodput_kbps(attacker_kbps: float, baseline_kbps: float) -> float:
+    """Attacker goodput beyond the honest baseline (positive = attack pays)."""
+    return attacker_kbps - baseline_kbps
+
+
+def time_to_containment_s(
+    level_history: Sequence[Tuple[float, int]],
+    onset_s: float,
+    bound_level: int,
+    end_s: float,
+) -> Optional[float]:
+    """Seconds from attack onset until the subscription is contained for good.
+
+    ``level_history`` is the receiver's ``(time, level)`` transition list
+    (levels persist until the next entry).  Containment is the earliest time
+    ``t >= onset_s`` from which the level stays ``<= bound_level`` through
+    ``end_s``; returns ``t - onset_s``, or ``None`` when the level still
+    exceeds the bound at the end of the run.
+    """
+    level_at_onset = 0
+    transitions: List[Tuple[float, int]] = []
+    for time_s, level in level_history:
+        if time_s <= onset_s:
+            level_at_onset = level
+        elif time_s <= end_s:
+            transitions.append((time_s, level))
+
+    contained_since: Optional[float] = None if level_at_onset > bound_level else onset_s
+    for time_s, level in transitions:
+        if level > bound_level:
+            contained_since = None
+        elif contained_since is None:
+            contained_since = time_s
+    if contained_since is None:
+        return None
+    return contained_since - onset_s
+
+
+def goodput_containment_s(
+    rate_series_kbps: Sequence[Tuple[float, float]],
+    onset_s: float,
+    bound_kbps: float,
+    end_s: float,
+) -> Optional[float]:
+    """Containment as *delivered*: when the goodput drops under the bound.
+
+    Same fixed-point semantics as :func:`time_to_containment_s`, applied to
+    a ``(bin end time, Kbps)`` throughput series against the rate the honest
+    entitlement corresponds to.  This is the SIGMA-side view: a misbehaving
+    receiver may *claim* an inflated subscription forever, but once the edge
+    router stops forwarding the extra groups its delivered rate is bounded.
+    """
+    contained_since: Optional[float] = onset_s
+    for time_s, rate_kbps in rate_series_kbps:
+        if time_s <= onset_s or time_s > end_s:
+            continue
+        if rate_kbps > bound_kbps:
+            contained_since = None
+        elif contained_since is None:
+            contained_since = time_s
+    if contained_since is None:
+        return None
+    return contained_since - onset_s
+
+
+def combined_containment_s(
+    level_containment: Optional[float], goodput_containment: Optional[float]
+) -> Optional[float]:
+    """An attack is contained when *either* view says so (earliest wins).
+
+    The receiver-side view (subscription intent) catches attackers the
+    protocol talks back into line; the network-side view (delivered rate)
+    catches attackers that keep claiming inflated subscriptions the router
+    no longer honours.
+    """
+    candidates = [c for c in (level_containment, goodput_containment) if c is not None]
+    return min(candidates) if candidates else None

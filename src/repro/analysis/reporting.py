@@ -16,6 +16,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Sequence, Union
 __all__ = [
     "format_table",
     "format_series_table",
+    "format_protection_table",
     "flatten_metrics",
     "aggregate_metrics",
     "format_aggregate_table",
@@ -57,6 +58,33 @@ def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.1f}"
     return str(cell)
+
+
+def format_protection_table(protection: Mapping[str, Any]) -> str:
+    """Render a run's ``protection`` metric block as a text table.
+
+    One row per attacker: its goodput over the attack window, the excess
+    over the honest baseline, and the time SIGMA/DELTA took to contain the
+    subscription ("never" is the unprotected Figure 1 outcome).
+    """
+    rows = []
+    for session_id, session in protection.get("sessions", {}).items():
+        for index, entry in session.get("attackers", {}).items():
+            containment = entry.get("containment_s")
+            rows.append(
+                (
+                    session_id,
+                    index,
+                    entry.get("goodput_kbps", 0.0),
+                    entry.get("excess_kbps", 0.0),
+                    "never" if containment is None else f"{containment:.1f}",
+                )
+            )
+    baseline = protection.get("honest_baseline_kbps", 0.0)
+    table = format_table(
+        ["session", "rx", "attacker (Kbps)", "excess (Kbps)", "contained (s)"], rows
+    )
+    return f"honest baseline: {baseline:.1f} Kbps\n{table}"
 
 
 # ----------------------------------------------------------------------

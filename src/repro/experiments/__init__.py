@@ -26,7 +26,14 @@ from .registry import (
     scenario_entry,
     scenario_spec,
 )
-from .runner import ExperimentRunner, RunResult, collect_metrics, execute_spec, run_spec_json
+from .runner import (
+    ExperimentRunner,
+    RunResult,
+    collect_metrics,
+    collect_protection_metrics,
+    execute_spec,
+    run_spec_json,
+)
 from .figure1 import (
     DEFAULT_ATTACK_START_S,
     InflatedSubscriptionResult,
@@ -47,6 +54,7 @@ from .figure8 import (
     run_throughput_vs_sessions,
     throughput_vs_sessions_spec,
 )
+from .attacks import attack_duel_spec
 from .figure9 import (
     PAPER_GROUP_COUNTS,
     PAPER_SLOT_DURATIONS,
@@ -75,8 +83,10 @@ __all__ = [
     "ExperimentRunner",
     "RunResult",
     "collect_metrics",
+    "collect_protection_metrics",
     "execute_spec",
     "run_spec_json",
+    "attack_duel_spec",
     "DEFAULT_ATTACK_START_S",
     "InflatedSubscriptionResult",
     "inflated_subscription_spec",

@@ -26,6 +26,13 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
+from ..analysis.protection import (
+    combined_containment_s,
+    excess_goodput_kbps,
+    goodput_containment_s,
+    honest_baseline_kbps,
+    time_to_containment_s,
+)
 from .scenario import Scenario
 from .spec import ScenarioSpec
 
@@ -33,6 +40,7 @@ __all__ = [
     "RunResult",
     "ExperimentRunner",
     "collect_metrics",
+    "collect_protection_metrics",
     "execute_spec",
     "run_spec_json",
 ]
@@ -122,9 +130,87 @@ def collect_metrics(scenario: Scenario, spec: ScenarioSpec) -> Dict[str, Any]:
             "valid_submissions": sum(a.valid_submissions for a in scenario.sigma_agents),
             "invalid_submissions": sum(a.invalid_submissions for a in scenario.sigma_agents),
             "revocations": sum(a.revocations for a in scenario.sigma_agents),
+            "igmp_joins_ignored": sum(a.igmp_joins_ignored for a in scenario.sigma_agents),
+            "guess_alarms": sum(a.guess_alarms for a in scenario.sigma_agents),
             "edge_agents": len(scenario.sigma_agents),
         }
+    protection = collect_protection_metrics(scenario, spec)
+    if protection is not None:
+        metrics["protection"] = protection
     return metrics
+
+
+def collect_protection_metrics(
+    scenario: Scenario, spec: ScenarioSpec
+) -> Optional[Dict[str, Any]]:
+    """Protection summary of a finished attack scenario (None without attackers).
+
+    Per attacker: goodput over its attack window, excess over the honest
+    baseline (mean goodput of every non-attacking multicast receiver over the
+    earliest attack window), time to containment derived from the level
+    history against the session's fair entitlement, and the adversary's
+    attack counters.
+    """
+    config = spec.config
+    duration = spec.effective_duration_s
+    # Sessions whose attack never starts within the run contribute nothing: a
+    # clamped zero-width window would fabricate "contained in 0.0 s" results.
+    session_onsets = {
+        decl.session_id: onset
+        for decl in spec.sessions
+        for onset in [decl.attack_onset_s()]
+        if onset is not None and onset < duration
+    }
+    if not session_onsets:
+        return None
+    global_onset = min(session_onsets.values())
+
+    honest_rates = [
+        session.receivers[index].average_rate_kbps(global_onset, duration)
+        for decl, session in zip(spec.sessions, scenario.sessions)
+        for index in range(decl.receivers)
+        if index not in decl.attacker_indices()
+    ]
+    baseline = honest_baseline_kbps(honest_rates, config.fair_share_bps / 1e3)
+
+    sessions: Dict[str, Any] = {}
+    for decl, session in zip(spec.sessions, scenario.sessions):
+        attackers = decl.attacker_indices()
+        onset = session_onsets.get(decl.session_id)
+        if not attackers or onset is None:
+            continue
+        bound_level = session.spec.fair_level(config.fair_share_bps)
+        entries: Dict[str, Any] = {}
+        #: Delivered-rate bound: the honest entitlement's cumulative rate,
+        #: with slack for 1-second bin jitter around slot boundaries.
+        bound_kbps = 1.25 * session.spec.cumulative_rate_bps(bound_level) / 1e3
+        for index in attackers:
+            receiver = session.receivers[index]
+            attacker_kbps = receiver.average_rate_kbps(onset, duration)
+            level_containment = time_to_containment_s(
+                receiver.level_history, onset, bound_level, duration
+            )
+            rate_series = [
+                (sample.time_s, sample.rate_kbps)
+                for sample in receiver.monitor.series(end_time_s=duration)
+            ]
+            goodput_containment = goodput_containment_s(
+                rate_series, onset, bound_kbps, duration
+            )
+            entry: Dict[str, Any] = {
+                "goodput_kbps": attacker_kbps,
+                "excess_kbps": excess_goodput_kbps(attacker_kbps, baseline),
+                "containment_s": combined_containment_s(
+                    level_containment, goodput_containment
+                ),
+                "bound_level": bound_level,
+            }
+            stats = getattr(receiver, "adversary_stats", None)
+            if stats is not None:
+                entry["counters"] = stats()
+            entries[str(index)] = entry
+        sessions[decl.session_id] = {"onset_s": onset, "attackers": entries}
+    return {"honest_baseline_kbps": baseline, "sessions": sessions}
 
 
 def execute_spec(spec: ScenarioSpec) -> RunResult:

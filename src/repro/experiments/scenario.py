@@ -26,8 +26,11 @@ histories after :meth:`run`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..adversary.receivers import AdversarialFlidDlReceiver, AdversarialFlidDsReceiver
+from ..adversary.registry import build_strategies
+from ..adversary.spec import AttackSpec
 from ..core.sigma import SigmaConfig, SigmaRouterAgent
 from ..core.timeslot import SlotClock
 from ..multicast_cc import (
@@ -35,8 +38,6 @@ from ..multicast_cc import (
     FlidDlSender,
     FlidDsReceiver,
     FlidDsSender,
-    InflatedSubscriptionFlidDlReceiver,
-    InflatedSubscriptionFlidDsReceiver,
     SessionSpec,
 )
 from ..multicast_cc.receiver_base import LayeredReceiverBase
@@ -166,6 +167,7 @@ class Scenario:
                 receivers=session.receivers,
                 misbehaving=tuple(session.misbehaving),
                 attack_start_s=session.attack_start_s,
+                attacks=session.attacks,
                 receiver_start_times=(
                     list(session.receiver_start_times)
                     if session.receiver_start_times is not None
@@ -216,6 +218,7 @@ class Scenario:
         receivers: int = 1,
         misbehaving: Tuple[int, ...] = (),
         attack_start_s: float = 0.0,
+        attacks: Sequence[AttackSpec] = (),
         receiver_start_times: Optional[List[float]] = None,
         receiver_access_delays: Optional[List[Optional[float]]] = None,
         receiver_routers: Optional[List[Optional[str]]] = None,
@@ -224,8 +227,11 @@ class Scenario:
     ) -> MulticastSession:
         """Create one multicast session with its sender and receivers.
 
-        ``misbehaving`` lists the (0-based) receiver indices that mount the
-        inflated-subscription attack starting at ``attack_start_s``;
+        ``attacks`` lists :class:`~repro.adversary.spec.AttackSpec`
+        declarations; each targets one or more (0-based) receiver indices and
+        several may stack on the same receiver.  ``misbehaving`` is the
+        historical shorthand: the listed indices mount the paper's default
+        inflated-subscription stack from ``attack_start_s``.
         ``receiver_routers`` optionally pins receivers to named routers.
         """
         index = len(self.sessions) + 1
@@ -258,6 +264,9 @@ class Scenario:
         session = MulticastSession(
             spec=spec, protected=self.protected, sender=sender, overhead=overhead
         )
+        per_receiver = self._attacks_per_receiver(
+            receivers, misbehaving, attack_start_s, attacks
+        )
         start_times = receiver_start_times or [0.0] * receivers
         access_delays = receiver_access_delays or [None] * receivers
         routers = receiver_routers or [None] * receivers
@@ -267,37 +276,74 @@ class Scenario:
                 access_delay_s=access_delays[r_index],
                 router=routers[r_index],
             )
-            receiver = self._make_receiver(
-                spec, host, misbehaving=r_index in misbehaving, attack_start_s=attack_start_s
-            )
+            receiver = self._make_receiver(spec, host, per_receiver.get(r_index, ()))
             session.receivers.append(receiver)
             receiver.start(start_times[r_index])
         sender.start()
         self.sessions.append(session)
         return session
 
+    def _attacks_per_receiver(
+        self,
+        receivers: int,
+        misbehaving: Tuple[int, ...],
+        attack_start_s: float,
+        attacks: Sequence[AttackSpec],
+    ) -> Dict[int, List[AttackSpec]]:
+        """Resolve legacy + declared attacks into per-receiver stacks.
+
+        The legacy ``misbehaving`` shorthand expands to the paper's default
+        attacker for the scenario's protocol: plain ``inflated-join`` against
+        FLID-DL (Figure 1), or the composite Figure 7 stack (bare joins on
+        top of the honest pipeline, key replay, key guessing) against
+        FLID-DS.  Declared attacks follow in declaration order.
+        """
+        per_receiver: Dict[int, List[AttackSpec]] = {}
+        if misbehaving:
+            if self.protected:
+                legacy = [
+                    AttackSpec(
+                        "inflated-join",
+                        receivers=misbehaving,
+                        start_s=attack_start_s,
+                        params={"suppress_honest": False},
+                    ),
+                    AttackSpec("key-replay", receivers=misbehaving, start_s=attack_start_s),
+                    AttackSpec("key-guessing", receivers=misbehaving, start_s=attack_start_s),
+                ]
+            else:
+                legacy = [
+                    AttackSpec("inflated-join", receivers=misbehaving, start_s=attack_start_s)
+                ]
+            attacks = legacy + list(attacks)
+        for attack in attacks:
+            for index in attack.receivers:
+                if not 0 <= index < receivers:
+                    raise ValueError(
+                        f"attack {attack.strategy!r} targets receiver {index}, "
+                        f"out of range for {receivers} receivers"
+                    )
+                per_receiver.setdefault(index, []).append(attack)
+        return per_receiver
+
     def _make_receiver(
         self,
         spec: SessionSpec,
         host: Host,
-        misbehaving: bool,
-        attack_start_s: float,
+        attacks: Sequence[AttackSpec],
     ) -> LayeredReceiverBase:
-        if self.protected:
-            if misbehaving:
-                return InflatedSubscriptionFlidDsReceiver(
-                    self.network,
-                    host,
-                    spec,
-                    attack_start_s=attack_start_s,
-                    key_bits=self.config.key_bits,
+        if not attacks:
+            if self.protected:
+                return FlidDsReceiver(
+                    self.network, host, spec, key_bits=self.config.key_bits
                 )
-            return FlidDsReceiver(self.network, host, spec, key_bits=self.config.key_bits)
-        if misbehaving:
-            return InflatedSubscriptionFlidDlReceiver(
-                self.network, host, spec, attack_start_s=attack_start_s
+            return FlidDlReceiver(self.network, host, spec)
+        strategies = build_strategies(attacks, self.network, spec, host.name)
+        if self.protected:
+            return AdversarialFlidDsReceiver(
+                self.network, host, spec, strategies, key_bits=self.config.key_bits
             )
-        return FlidDlReceiver(self.network, host, spec)
+        return AdversarialFlidDlReceiver(self.network, host, spec, strategies)
 
     # ------------------------------------------------------------------
     # unicast traffic

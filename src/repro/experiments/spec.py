@@ -25,6 +25,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from ..adversary.spec import AttackSpec
 from .config import PAPER_DEFAULTS, ExperimentConfig
 
 __all__ = ["SessionDecl", "TcpDecl", "CbrDecl", "ScenarioSpec"]
@@ -34,17 +35,23 @@ __all__ = ["SessionDecl", "TcpDecl", "CbrDecl", "ScenarioSpec"]
 class SessionDecl:
     """One multicast session of a scenario.
 
-    ``misbehaving`` lists the (0-based) receiver indices that mount the
-    inflated-subscription attack from ``attack_start_s``.  ``receiver_routers``
-    optionally pins each receiver to a named router of the topology; ``None``
-    entries (or omitting the field) fall back to the topology's round-robin
-    receiver placement.
+    ``attacks`` declares the misbehaviour: each
+    :class:`~repro.adversary.spec.AttackSpec` names a registered strategy,
+    its parameters and schedule, and the (0-based) receiver indices mounting
+    it — several attacks may stack on one receiver.  The historical shorthand
+    remains: ``misbehaving`` lists receiver indices that mount the paper's
+    default inflated-subscription attack from ``attack_start_s`` (translated
+    by the scenario interpreter into the protocol-appropriate strategy
+    stack).  ``receiver_routers`` optionally pins each receiver to a named
+    router of the topology; ``None`` entries (or omitting the field) fall
+    back to the topology's round-robin receiver placement.
     """
 
     session_id: str
     receivers: int = 1
     misbehaving: Tuple[int, ...] = ()
     attack_start_s: float = 0.0
+    attacks: Tuple[AttackSpec, ...] = ()
     receiver_start_times: Optional[Tuple[float, ...]] = None
     receiver_access_delays: Optional[Tuple[Optional[float], ...]] = None
     receiver_routers: Optional[Tuple[Optional[str], ...]] = None
@@ -57,6 +64,13 @@ class SessionDecl:
         for index in self.misbehaving:
             if not 0 <= index < self.receivers:
                 raise ValueError(f"misbehaving index {index} out of range")
+        for attack in self.attacks:
+            for index in attack.receivers:
+                if not 0 <= index < self.receivers:
+                    raise ValueError(
+                        f"attack {attack.strategy!r} targets receiver {index}, "
+                        f"out of range for {self.receivers} receivers"
+                    )
         for name, values in (
             ("receiver_start_times", self.receiver_start_times),
             ("receiver_access_delays", self.receiver_access_delays),
@@ -64,6 +78,21 @@ class SessionDecl:
         ):
             if values is not None and len(values) != self.receivers:
                 raise ValueError(f"{name} must have one entry per receiver")
+
+    # ------------------------------------------------------------------
+    def attacker_indices(self) -> Tuple[int, ...]:
+        """Sorted receiver indices mounting any attack (legacy or declared)."""
+        indices = set(self.misbehaving)
+        for attack in self.attacks:
+            indices.update(attack.receivers)
+        return tuple(sorted(indices))
+
+    def attack_onset_s(self) -> Optional[float]:
+        """Earliest scheduled attack start, or ``None`` without attackers."""
+        onsets = [attack.start_s for attack in self.attacks]
+        if self.misbehaving:
+            onsets.append(self.attack_start_s)
+        return min(onsets) if onsets else None
 
 
 @dataclass(frozen=True)
@@ -157,6 +186,9 @@ class ScenarioSpec:
                 receivers=s.get("receivers", 1),
                 misbehaving=tuple(s.get("misbehaving", ())),
                 attack_start_s=s.get("attack_start_s", 0.0),
+                attacks=tuple(
+                    AttackSpec.from_dict(a) for a in s.get("attacks", ())
+                ),
                 receiver_start_times=_tuple(s.get("receiver_start_times")),
                 receiver_access_delays=_tuple(s.get("receiver_access_delays")),
                 receiver_routers=_tuple(s.get("receiver_routers")),

@@ -13,15 +13,28 @@
 
 from .flid_dl import FlidDlReceiver, FlidDlSender
 from .flid_ds import FlidDsReceiver, FlidDsSender
-from .misbehaving import (
-    IgnoreCongestionFlidDlReceiver,
-    InflatedSubscriptionFlidDlReceiver,
-    InflatedSubscriptionFlidDsReceiver,
-)
 from .receiver_base import LayeredReceiverBase, SlotRecord
 from .replicated import ReplicatedReceiver, ReplicatedSender
 from .sender_base import LayeredSenderBase
 from .session import SessionSpec, fair_level_for_rate
+
+#: Shim classes living in .misbehaving, resolved lazily (PEP 562) because the
+#: module subclasses the adversary subsystem's receivers, which in turn build
+#: on the honest receivers of this package — an eager import would cycle.
+_LAZY_MISBEHAVING = (
+    "IgnoreCongestionFlidDlReceiver",
+    "InflatedSubscriptionFlidDlReceiver",
+    "InflatedSubscriptionFlidDsReceiver",
+)
+
+
+def __getattr__(name: str):
+    if name in _LAZY_MISBEHAVING:
+        from . import misbehaving
+
+        return getattr(misbehaving, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "FlidDlReceiver",

@@ -184,6 +184,7 @@ class FlidDsReceiver(LayeredReceiverBase):
 
         observation = self._build_observation(record, entitled, congested)
         result = self.delta.reconstruct(observation)
+        self._on_keys_reconstructed(governed_slot, result.keys)
 
         if result.keys:
             pairs = [
@@ -208,13 +209,9 @@ class FlidDsReceiver(LayeredReceiverBase):
     def _build_observation(
         self, record: SlotRecord, entitled: int, congested: bool
     ) -> ReceiverSlotObservation:
-        relevant = set(range(1, entitled + 1))
-        lost = (set(record.gap_groups) | self._tail_loss_groups(record)) & relevant
-        received = record.received_groups()
+        lost = self._loss_signal_groups(record)
         if congested:
-            for group in relevant:
-                if group in self._seen_groups and group not in received:
-                    lost.add(group)
+            lost |= self._starved_groups(record)
         return ReceiverSlotObservation(
             subscription_level=entitled,
             components=record.components(),
@@ -222,6 +219,14 @@ class FlidDsReceiver(LayeredReceiverBase):
             lost_groups=frozenset(lost),
             upgrade_authorized=frozenset(record.upgrade_groups),
         )
+
+    def _on_keys_reconstructed(self, governed_slot: int, keys: Dict[int, int]) -> None:
+        """Hook: the keys DELTA reconstructed for ``governed_slot``.
+
+        The honest receiver does nothing with it; adversarial receivers
+        (:mod:`repro.adversary.receivers`) dispatch it to their strategies
+        (key replay, collusion).
+        """
 
     def _rejoin(self, effective_slot: int) -> None:
         """Fall back to key-less admission after losing every key."""

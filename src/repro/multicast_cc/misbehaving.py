@@ -1,31 +1,29 @@
-"""Misbehaving receivers — the threat the paper defends against.
+"""Misbehaving receivers — compatibility shims over the adversary subsystem.
 
-The paper's threat model (§2.1) is a *self-beneficial* receiver: it wants
-more bandwidth for itself, not to destroy the network.  With multi-group
-congestion control the cheapest such attack is **inflated subscription**:
-ignore the subscription rules and join more groups than the congestion state
-allows.
-
-Three attacker models are provided:
+The attack logic that used to live in three monolithic receiver subclasses
+now lives in :mod:`repro.adversary`: composable
+:class:`~repro.adversary.strategy.AttackStrategy` objects looked up by name
+in the :data:`~repro.adversary.registry.ADVERSARIES` registry and driven by
+the adversarial receivers.  The historical classes remain as thin shims that
+assemble the equivalent strategy stacks, preserving their constructor
+signatures and statistics attributes:
 
 ``InflatedSubscriptionFlidDlReceiver``
-    Attacks the unprotected protocol: at the attack time it IGMP-joins every
-    group of its session and never leaves, regardless of loss.  This is the
-    receiver ``F1`` of Figure 1.
+    ``inflated-join`` against the unprotected protocol — joins every group at
+    the attack time and freezes the subscription there (Figure 1's ``F1``).
 
 ``InflatedSubscriptionFlidDsReceiver``
-    Mounts the same attack against the protected protocol: it keeps its
-    legitimate key-based subscription (so it still gets its fair share), but
-    additionally tries to open higher groups by sending bare IGMP joins
-    (which a SIGMA router ignores), by replaying the keys it does hold, and
-    by guessing random keys (§4.2's guessing attack).  This is the receiver
-    ``F1`` of Figure 7.
+    The composite Figure 7 attacker against the protected protocol:
+    ``inflated-join`` (bare IGMP joins, honest pipeline kept) +
+    ``key-replay`` + ``key-guessing`` (§4.2).
 
 ``IgnoreCongestionFlidDlReceiver``
-    A milder misbehaviour: it never decreases its subscription on loss (but
-    only increases when authorised).  Used by ablation benchmarks to show
-    that DELTA/SIGMA also bound this behaviour, since keys for the lost
-    level simply stop being reconstructible.
+    ``ignore-congestion`` in its historical *hold* mode: never decrease on
+    loss, only increase when authorised.
+
+All adversary randomness flows through per-strategy seeded streams derived
+from the network's experiment seed (never the global ``random`` module), so
+attack runs are byte-deterministic across processes.
 """
 
 from __future__ import annotations
@@ -33,11 +31,15 @@ from __future__ import annotations
 import random
 from typing import Optional
 
+from ..adversary.receivers import AdversarialFlidDlReceiver, AdversarialFlidDsReceiver
+from ..adversary.strategies import (
+    IgnoreCongestionStrategy,
+    InflatedJoinStrategy,
+    KeyGuessingStrategy,
+    KeyReplayStrategy,
+)
 from ..simulator.node import Host
 from ..simulator.topology import Network
-from .flid_dl import FlidDlReceiver
-from .flid_ds import FlidDsReceiver
-from .receiver_base import SlotRecord
 from .session import SessionSpec
 
 __all__ = [
@@ -47,7 +49,7 @@ __all__ = [
 ]
 
 
-class InflatedSubscriptionFlidDlReceiver(FlidDlReceiver):
+class InflatedSubscriptionFlidDlReceiver(AdversarialFlidDlReceiver):
     """FLID-DL receiver that joins every group at ``attack_start_s`` (Figure 1)."""
 
     def __init__(
@@ -59,29 +61,20 @@ class InflatedSubscriptionFlidDlReceiver(FlidDlReceiver):
         bin_width_s: float = 1.0,
         name: str = "",
     ) -> None:
-        super().__init__(network, host, spec, bin_width_s=bin_width_s, name=name)
+        strategy = InflatedJoinStrategy(
+            start_s=attack_start_s,
+            rng=network.random.stream(
+                f"adversary:{spec.session_id}:{host.name}:0:inflated-join"
+            ),
+        )
+        super().__init__(
+            network, host, spec, strategies=[strategy], bin_width_s=bin_width_s, name=name
+        )
         self.attack_start_s = attack_start_s
-        self.attacking = False
-
-    def _apply_decision(self, evaluated_slot: int, record: SlotRecord, congested: bool) -> None:
-        if self.sim.now >= self.attack_start_s:
-            if not self.attacking:
-                self._launch_attack()
-            return  # ignore every subscription rule while attacking
-        super()._apply_decision(evaluated_slot, record, congested)
-
-    def _launch_attack(self) -> None:
-        """Join every group of the session and freeze the subscription there."""
-        self.attacking = True
-        if self.igmp is None:
-            return
-        for group in range(1, self.spec.group_count + 1):
-            self.igmp.join(self.spec.address_of(group))
-        self._set_level(self.spec.group_count)
 
 
-class InflatedSubscriptionFlidDsReceiver(FlidDsReceiver):
-    """FLID-DS receiver that attempts the same inflation against SIGMA (Figure 7).
+class InflatedSubscriptionFlidDsReceiver(AdversarialFlidDsReceiver):
+    """FLID-DS receiver mounting the composite Figure 7 attack against SIGMA.
 
     The attacker keeps playing the honest protocol for the keys it can
     legitimately reconstruct (abandoning them would only hurt it) and layers
@@ -101,74 +94,62 @@ class InflatedSubscriptionFlidDsReceiver(FlidDsReceiver):
         name: str = "",
         rng: Optional[random.Random] = None,
     ) -> None:
+        def stream(index: int, strategy_name: str) -> random.Random:
+            return network.random.stream(
+                f"adversary:{spec.session_id}:{host.name}:{index}:{strategy_name}"
+            )
+
+        strategies = [
+            InflatedJoinStrategy(
+                start_s=attack_start_s,
+                params={"suppress_honest": False},
+                rng=stream(0, "inflated-join"),
+            ),
+            KeyReplayStrategy(start_s=attack_start_s, rng=stream(1, "key-replay")),
+            KeyGuessingStrategy(
+                start_s=attack_start_s,
+                params={"guesses_per_slot": guesses_per_slot, "key_bits": key_bits},
+                rng=rng if rng is not None else stream(2, "key-guessing"),
+            ),
+        ]
         super().__init__(
-            network, host, spec, key_bits=key_bits, bin_width_s=bin_width_s, name=name
+            network,
+            host,
+            spec,
+            strategies=strategies,
+            key_bits=key_bits,
+            bin_width_s=bin_width_s,
+            name=name,
         )
         self.attack_start_s = attack_start_s
         self.guesses_per_slot = guesses_per_slot
-        self.attacking = False
-        self.guess_attempts = 0
-        self.igmp_attempts = 0
-        self._rng = rng or network.random.stream(f"attacker-{spec.session_id}-{host.name}")
 
-    def _apply_decision(self, evaluated_slot: int, record: SlotRecord, congested: bool) -> None:
-        # The attacker still runs the honest pipeline: its fair-share keys are
-        # the only access it is guaranteed to keep.
-        super()._apply_decision(evaluated_slot, record, congested)
-        if self.sim.now < self.attack_start_s or self.sigma is None:
-            return
-        if not self.attacking:
-            self.attacking = True
-            self._attempt_igmp_inflation()
-        self._attempt_key_attacks(evaluated_slot + 2)
+    @property
+    def guess_attempts(self) -> int:
+        return self._attack_ctx.guess_attempts if self._attack_ctx else 0
 
-    # ------------------------------------------------------------------
-    def _attempt_igmp_inflation(self) -> None:
-        """Send bare IGMP-style joins for every group (SIGMA routers ignore them)."""
-        manager = self.host.edge_router.group_manager if self.host.edge_router else None
-        if manager is None or self.host.control is None:
-            return
-        for group in range(1, self.spec.group_count + 1):
-            self.igmp_attempts += 1
-            self.host.control.send(
-                manager.handle_join, self.host, self.spec.address_of(group)
-            )
-
-    def _attempt_key_attacks(self, governed_slot: int) -> None:
-        """Replay held keys and guess random keys for every forbidden group."""
-        entitled = self.entitled_level(governed_slot)
-        forbidden = range(entitled + 1, self.spec.group_count + 1)
-        pairs = []
-        held_keys = [key for _, key in self._held_keys(governed_slot)]
-        for group in forbidden:
-            address = self.spec.address_of(group)
-            # Replay: submit a key that is valid for a *lower* group in the
-            # hope the router confuses scopes (it does not: keys are stored
-            # per group address).
-            for key in held_keys[: 1]:
-                pairs.append((address, key))
-            # Guessing: uniformly random values over the key space.
-            for _ in range(self.guesses_per_slot):
-                self.guess_attempts += 1
-                pairs.append((address, self._rng.getrandbits(self.key_bits)))
-        if pairs:
-            self.sigma.subscribe(governed_slot, pairs)
-
-    def _held_keys(self, governed_slot: int) -> list[tuple[int, int]]:
-        """Keys the attacker legitimately reconstructed for the governed slot.
-
-        The honest pipeline has already submitted them; they are re-derived
-        here only to feed the replay vector.
-        """
-        # The base class does not retain reconstructed keys, so the attacker
-        # simply replays an arbitrary constant when it has nothing cached.
-        return []
+    @property
+    def igmp_attempts(self) -> int:
+        return self._attack_ctx.igmp_attempts if self._attack_ctx else 0
 
 
-class IgnoreCongestionFlidDlReceiver(FlidDlReceiver):
+class IgnoreCongestionFlidDlReceiver(AdversarialFlidDlReceiver):
     """FLID-DL receiver that never decreases its subscription on loss."""
 
-    def _apply_decision(self, evaluated_slot: int, record: SlotRecord, congested: bool) -> None:
-        if congested:
-            return  # misbehaviour: hold the subscription instead of dropping
-        super()._apply_decision(evaluated_slot, record, congested)
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        spec: SessionSpec,
+        bin_width_s: float = 1.0,
+        name: str = "",
+    ) -> None:
+        strategy = IgnoreCongestionStrategy(
+            params={"mode": "hold"},
+            rng=network.random.stream(
+                f"adversary:{spec.session_id}:{host.name}:0:ignore-congestion"
+            ),
+        )
+        super().__init__(
+            network, host, spec, strategies=[strategy], bin_width_s=bin_width_s, name=name
+        )

@@ -220,23 +220,30 @@ class LayeredReceiverBase(PacketAgent):
         """
         return set(range(1, self.level + 1))
 
+    def _loss_signal_groups(self, record: SlotRecord) -> Set[int]:
+        """Entitled groups with a detected sequence gap or tail loss."""
+        return (set(record.gap_groups) | self._tail_loss_groups(record)) & self._entitled_groups(record)
+
+    def _starved_groups(self, record: SlotRecord) -> Set[int]:
+        """Entitled, previously-seen groups that went completely silent."""
+        received = record.received_groups()
+        return {
+            group
+            for group in self._entitled_groups(record)
+            if group in self._seen_groups and group not in received
+        }
+
     def _is_congested(self, record: SlotRecord) -> bool:
         """Single-loss congestion definition plus starvation of a live group."""
-        relevant = self._entitled_groups(record)
-        if record.gap_groups & relevant:
-            return True
-        if self._tail_loss_groups(record) & relevant:
+        if self._loss_signal_groups(record):
             return True
         # Starvation: a group we are entitled to and have received before went
         # completely silent for a slot.  A fully established level losing every
         # packet of a layer is congestion, not join latency.
-        if relevant and self._started_at is not None:
+        if self._started_at is not None:
             established = self.sim.now - self._started_at > 2 * self.spec.slot_duration_s
-            if established:
-                received = record.received_groups()
-                for group in relevant:
-                    if group in self._seen_groups and group not in received:
-                        return True
+            if established and self._starved_groups(record):
+                return True
         return False
 
     def _tail_loss_groups(self, record: SlotRecord) -> Set[int]:

@@ -1,0 +1,23 @@
+"""Shared test options.
+
+``--update-golden`` regenerates the golden-trace digests under
+``tests/golden/`` instead of comparing against them:
+
+    python -m pytest tests/golden --update-golden
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-trace digest files instead of asserting them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")

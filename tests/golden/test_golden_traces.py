@@ -1,0 +1,63 @@
+"""Golden-trace regression tests for the protection results.
+
+Each case runs a registered scenario (shortened for test speed) and compares
+its :func:`~repro.analysis.golden.scenario_trace_digest` — per-slot
+subscription vectors in the clear, SHA-256 over the throughput series and
+over the full metric document — against the stored digest in this directory.
+The simulator is byte-deterministic per spec (the property suite asserts it
+across processes and hash seeds), so any drift in the protocols, the
+adversary subsystem or the protection metrics fails here with a readable
+subscription-vector diff.
+
+Regenerate after an *intentional* behaviour change with::
+
+    python -m pytest tests/golden --update-golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.golden import scenario_trace_digest
+from repro.experiments import scenario_spec
+
+GOLDEN_DIR = Path(__file__).parent
+
+#: Scenario name -> builder overrides (shortened runs; onset well inside).
+CASES = {
+    "figure1-attack": dict(attack_start_s=12.0, duration_s=30.0),
+    "figure7-defence": dict(attack_start_s=12.0, duration_s=30.0),
+    "attack-flapping": dict(attack_start_s=6.0, duration_s=18.0),
+    "attack-key-guessing": dict(attack_start_s=6.0, duration_s=18.0),
+    "attack-key-replay": dict(attack_start_s=6.0, duration_s=18.0),
+    "attack-join-storm": dict(attack_start_s=6.0, duration_s=18.0),
+    "attack-ignore-congestion": dict(attack_start_s=6.0, duration_s=18.0),
+    "attack-composite": dict(attack_start_s=6.0, duration_s=18.0),
+    "attack-collusion-parking-lot": dict(attack_start_s=6.0, duration_s=18.0),
+}
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_trace(name, update_golden):
+    digest = scenario_trace_digest(scenario_spec(name, **CASES[name]))
+    path = golden_path(name)
+    if update_golden:
+        path.write_text(json.dumps(digest, sort_keys=True, indent=1) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden digest {path.name}; generate it with "
+        f"`python -m pytest tests/golden --update-golden`"
+    )
+    stored = json.loads(path.read_text())
+    assert digest["spec_sha256"] == stored["spec_sha256"], (
+        "the scenario's canonical spec changed; if intentional, rerun with "
+        "--update-golden"
+    )
+    # Compare the readable part first so drift shows as a subscription diff.
+    assert digest["sessions"] == stored["sessions"]
+    assert digest["metrics_sha256"] == stored["metrics_sha256"]

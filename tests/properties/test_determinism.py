@@ -10,6 +10,7 @@ so this holds across processes.
 
 import pytest
 
+from repro.adversary import AttackSpec
 from repro.experiments import (
     ExperimentRunner,
     PAPER_DEFAULTS,
@@ -70,6 +71,45 @@ def test_serial_and_parallel_runner_paths_are_byte_identical():
     seeds = (0, 1)
     serial = ExperimentRunner(jobs=1).run_seed_sweep(dumbbell_spec(), seeds)
     parallel = ExperimentRunner(jobs=2).run_seed_sweep(dumbbell_spec(), seeds)
+    assert [r.to_json() for r in serial] == [r.to_json() for r in parallel]
+
+
+def attack_grid_specs():
+    """An attacker-type × intensity grid, as the runner would sweep it."""
+    specs = []
+    for strategy, intensity in (("key-guessing", 1.0), ("key-guessing", 3.0), ("churn", 2.0)):
+        specs.append(
+            ScenarioSpec(
+                name=f"determinism-{strategy}-{intensity}",
+                protected=True,
+                expected_sessions=2,
+                sessions=(
+                    SessionDecl(
+                        "atk",
+                        receivers=1,
+                        attacks=(
+                            AttackSpec(strategy, start_s=2.0, intensity=intensity),
+                        ),
+                    ),
+                    SessionDecl("hon", receivers=1),
+                ),
+                duration_s=6.0,
+                config=FAST_CONFIG,
+            )
+        )
+    return specs
+
+
+def test_attack_grid_serial_and_parallel_paths_are_byte_identical():
+    """Adversary scenarios satisfy the same cross-process guarantee.
+
+    Strategy randomness flows through per-strategy named streams, so the
+    process-pool path must reproduce the serial path byte for byte across an
+    attacker-type × intensity grid.
+    """
+    specs = attack_grid_specs()
+    serial = ExperimentRunner(jobs=1).run(specs)
+    parallel = ExperimentRunner(jobs=2).run(specs)
     assert [r.to_json() for r in serial] == [r.to_json() for r in parallel]
 
 
