@@ -1,4 +1,4 @@
-"""Command-line entry point: list and run registered scenarios.
+"""Command-line entry point: list, run and profile registered scenarios.
 
 Examples::
 
@@ -6,11 +6,16 @@ Examples::
     python -m repro topologies
     python -m repro run figure8-throughput --seeds 4 --jobs 4
     python -m repro run parking-lot-attack --duration 30 --out results/
+    python -m repro profile figure8-throughput --top 25 --sort tottime
 
 ``run`` executes the named scenario's spec over a seed sweep through the
 parallel :class:`~repro.experiments.runner.ExperimentRunner`, prints the
 per-seed key metrics and the cross-seed aggregate, and optionally writes the
 raw results plus the aggregate as JSON.
+
+``profile`` realises one seed of a scenario under :mod:`cProfile` and prints
+the top-N entries of the :mod:`pstats` table — the workflow behind the
+engine hot-path overhaul (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -77,17 +82,35 @@ def _parse_param(text: str):
     return key, value
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _resolve_spec(args: argparse.Namespace):
+    """Resolve a subcommand's scenario + overrides into ``(entry, spec)``.
+
+    Shared by ``run`` and ``profile`` (which accept the same scenario,
+    ``--duration`` and ``--param`` surface).  Prints an ``error:`` line and
+    returns None on user error; callers exit 2.
+    """
     try:
         entry = scenario_entry(args.scenario)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
-        return 2
+        return None
     params = dict(args.param or [])
     if args.duration is not None:
         params["duration_s"] = args.duration
     try:
         spec = entry.build(**params)
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    return entry, spec
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    resolved = _resolve_spec(args)
+    if resolved is None:
+        return 2
+    entry, spec = resolved
+    try:
         runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
     except (TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -124,6 +147,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    from .experiments.scenario import Scenario
+
+    resolved = _resolve_spec(args)
+    if resolved is None:
+        return 2
+    entry, spec = resolved
+    spec = spec.with_seed(args.seed)
+    duration = spec.effective_duration_s
+    scenario = Scenario.from_spec(spec)
+    sim = scenario.network.sim
+
+    print(
+        f"profiling {entry.name} (seed {args.seed}, {duration:g}s simulated) ..."
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    scenario.run(duration)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    wall = max(stats.total_tt, 1e-9)
+    print(
+        f"{sim.events_executed:,} events in {wall:.2f}s profiled "
+        f"({sim.events_executed / wall:,.0f} events/s under instrumentation; "
+        f"run benchmarks/bench_engine_hotpath.py for uninstrumented numbers)"
+    )
+    if args.out is not None:
+        stats.dump_stats(args.out)
+        print(f"wrote raw profile to {args.out} (inspect with `python -m pstats`)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -139,21 +199,45 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_adversaries
     )
 
-    run = sub.add_parser("run", help="run a registered scenario by name")
-    run.add_argument("scenario", help="scenario name (see `list`)")
-    run.add_argument("--seeds", type=int, default=1, help="number of seeds (0..N-1)")
-    run.add_argument("--jobs", type=int, default=1, help="parallel worker processes")
-    run.add_argument("--duration", type=float, default=None, help="override duration (s)")
-    run.add_argument(
+    # Options shared by every subcommand that resolves a scenario spec
+    # (consumed by _resolve_spec).
+    spec_options = argparse.ArgumentParser(add_help=False)
+    spec_options.add_argument("scenario", help="scenario name (see `list`)")
+    spec_options.add_argument(
+        "--duration", type=float, default=None, help="override duration (s)"
+    )
+    spec_options.add_argument(
         "--param",
         type=_parse_param,
         action="append",
         metavar="KEY=VALUE",
         help="builder parameter override (repeatable), e.g. --param count=8",
     )
+
+    run = sub.add_parser(
+        "run", help="run a registered scenario by name", parents=[spec_options]
+    )
+    run.add_argument("--seeds", type=int, default=1, help="number of seeds (0..N-1)")
+    run.add_argument("--jobs", type=int, default=1, help="parallel worker processes")
     run.add_argument("--out", default=None, help="directory for JSON results")
     run.add_argument("--cache-dir", default=None, help="per-run result cache directory")
     run.set_defaults(func=_cmd_run)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one scenario under cProfile and print the hot spots",
+        parents=[spec_options],
+    )
+    profile.add_argument("--seed", type=int, default=0, help="seed to profile")
+    profile.add_argument("--top", type=int, default=20, help="pstats rows to print")
+    profile.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime", "ncalls", "time", "calls"],
+        help="pstats sort key",
+    )
+    profile.add_argument("--out", default=None, help="write the raw .prof dump here")
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 

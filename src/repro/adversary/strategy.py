@@ -59,11 +59,13 @@ class AttackStrategy:
     # schedule
     # ------------------------------------------------------------------
     def active(self, now: float) -> bool:
+        """True when ``now`` falls inside the attack's scheduled window."""
         if now < self.start_s:
             return False
         return self.stop_s is None or now < self.stop_s
 
     def param(self, key: str, default: Any) -> Any:
+        """A declared strategy parameter, or ``default`` when unset."""
         return self.params.get(key, default)
 
     # ------------------------------------------------------------------

@@ -58,8 +58,11 @@ class EcnComponentScrambler:
         # deterministically broken rather than probabilistically broken.
         if replacement == original:
             replacement ^= 1
-        packet.headers[COMPONENT_HEADER] = replacement
-        packet.headers["delta_component_scrambled"] = True
+        # Replicas share the sender's headers dictionary; copy-on-write so
+        # sibling copies on other interfaces keep the genuine component.
+        headers = packet.mutable_headers()
+        headers[COMPONENT_HEADER] = replacement
+        headers["delta_component_scrambled"] = True
         self.scrambled_packets += 1
 
 

@@ -57,6 +57,7 @@ class RunResult:
     metrics: Dict[str, Any]
 
     def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form of the result (inverse of :meth:`from_dict`)."""
         return {
             "scenario": self.scenario,
             "seed": self.seed,
@@ -71,6 +72,7 @@ class RunResult:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
         return cls(
             scenario=payload["scenario"],
             seed=payload["seed"],
@@ -81,6 +83,7 @@ class RunResult:
 
     @classmethod
     def from_json(cls, text: str) -> "RunResult":
+        """Rebuild a result from its canonical JSON form."""
         return cls.from_dict(json.loads(text))
 
 
@@ -254,6 +257,11 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     @staticmethod
     def cache_key(spec: ScenarioSpec) -> str:
+        """SHA-256 of the spec's canonical JSON — the result-cache key.
+
+        Sound only because runs are byte-deterministic per spec (see
+        ``docs/determinism.md``).
+        """
         return hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()
 
     def _cache_path(self, spec: ScenarioSpec) -> Optional[Path]:
@@ -292,6 +300,7 @@ class ExperimentRunner:
         return [result for result in results if result is not None]
 
     def run_one(self, spec: ScenarioSpec) -> RunResult:
+        """Execute a single spec (through the cache like any other run)."""
         return self.run([spec])[0]
 
     def run_seed_sweep(self, spec: ScenarioSpec, seeds: Iterable[int]) -> List[RunResult]:

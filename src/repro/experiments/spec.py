@@ -147,19 +147,23 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
     @property
     def effective_duration_s(self) -> float:
+        """The run duration: the spec override or the config default."""
         return self.config.duration_s if self.duration_s is None else self.duration_s
 
     @property
     def seed(self) -> int:
+        """The RNG seed carried inside the spec's config."""
         return self.config.seed
 
     # ------------------------------------------------------------------
     # functional updates
     # ------------------------------------------------------------------
     def with_seed(self, seed: int) -> "ScenarioSpec":
+        """A copy of this spec whose config carries ``seed``."""
         return replace(self, config=self.config.with_seed(seed))
 
     def with_duration(self, duration_s: float) -> "ScenarioSpec":
+        """A copy of this spec with an overridden run duration."""
         return replace(self, duration_s=duration_s)
 
     # ------------------------------------------------------------------
@@ -177,6 +181,7 @@ class ScenarioSpec:
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (inverse mapping)."""
         def _tuple(value, convert=lambda x: x):
             return None if value is None else tuple(convert(v) for v in value)
 
@@ -236,4 +241,5 @@ class ScenarioSpec:
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
+        """Rebuild a spec from its canonical JSON form."""
         return cls.from_dict(json.loads(text))

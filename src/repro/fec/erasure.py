@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["FecConfig", "ErasureCode", "RepetitionCode"]
@@ -109,6 +110,58 @@ class _BarycentricInterpolator:
         return (numerator * pow(denominator, prime - 2, prime)) % prime
 
 
+@lru_cache(maxsize=None)
+def _parity_rows(k: int, n: int) -> Tuple[Tuple[Tuple[int, ...], int], ...]:
+    """Cached barycentric coefficient rows for the systematic encoder.
+
+    Encoding evaluates the polynomial through the systematic points
+    ``x = 1..k`` at the parity points ``x = k+1..n``.  Those abscissae are
+    fixed, so for each parity point the per-source coefficients
+    ``c_i = w_i / (x - x_i)`` and the inverse denominator ``(Σ c_i)^-1``
+    depend only on ``(k, n)`` — one modular-inverse batch per distinct shape
+    for the whole process, zero modular exponentiations per announcement.
+    """
+    prime = _FIELD_PRIME
+    xs = list(range(1, k + 1))
+    weights = _BarycentricInterpolator([(x, 0) for x in xs], prime).weights
+    rows = []
+    for x in range(k + 1, n + 1):
+        deltas = [(x - xi) % prime for xi in xs]
+        inv_deltas = _batch_inverse(deltas, prime)
+        coeffs = tuple((w * d) % prime for w, d in zip(weights, inv_deltas))
+        denominator = sum(coeffs) % prime
+        rows.append((coeffs, pow(denominator, prime - 2, prime)))
+    return tuple(rows)
+
+
+@lru_cache(maxsize=1024)
+def _decode_rows(
+    xs: Tuple[int, ...], source_count: int
+) -> Tuple[Tuple[Tuple[int, ...], int], ...]:
+    """Cached interpolation rows for decoding from the abscissae ``xs``.
+
+    Loss patterns repeat heavily across slots (the same symbols of an
+    announcement survive the same bottlenecks), so the coefficient matrix
+    for a given surviving-index set is computed once and reused; only the
+    received values change between announcements.
+    """
+    prime = _FIELD_PRIME
+    interpolator = _BarycentricInterpolator([(x, 0) for x in xs], prime)
+    weights = interpolator.weights
+    rows = []
+    for x in range(1, source_count + 1):
+        if x in interpolator._x_set:
+            # Systematic symbol present: marker row selecting it directly.
+            rows.append(((), xs.index(x)))
+            continue
+        deltas = [(x - xi) % prime for xi in xs]
+        inv_deltas = _batch_inverse(deltas, prime)
+        coeffs = tuple((w * d) % prime for w, d in zip(weights, inv_deltas))
+        denominator = sum(coeffs) % prime
+        rows.append((coeffs, pow(denominator, prime - 2, prime)))
+    return tuple(rows)
+
+
 class ErasureCode:
     """MDS erasure code: recover ``k`` source symbols from any ``k`` coded symbols."""
 
@@ -121,12 +174,15 @@ class ErasureCode:
         """Encode ``source`` symbols into ``coded_count`` (index, value) symbols.
 
         The first ``len(source)`` coded symbols are systematic (equal to the
-        source), so in the loss-free case decoding is a no-op.
+        source), so in the loss-free case decoding is a no-op.  Parity
+        symbols are inner products with the cached :func:`_parity_rows`
+        coefficients — no field inversions on the per-slot path.
         """
         if not source:
             raise ValueError("cannot encode an empty symbol list")
+        prime = self.prime
         for symbol in source:
-            if not (0 <= symbol < self.prime):
+            if not (0 <= symbol < prime):
                 raise ValueError(f"symbol {symbol} outside field range")
         k = len(source)
         n = coded_count if coded_count is not None else self.config.coded_symbols(k)
@@ -134,9 +190,11 @@ class ErasureCode:
             raise ValueError(f"coded_count {n} must be at least the source size {k}")
         coded: List[Tuple[int, int]] = [(i + 1, source[i]) for i in range(k)]
         if n > k:
-            interpolator = _BarycentricInterpolator(coded, self.prime)
-            for index in range(k + 1, n + 1):
-                coded.append((index, interpolator.evaluate(index)))
+            for offset, (coeffs, inv_denominator) in enumerate(_parity_rows(k, n)):
+                numerator = 0
+                for coeff, symbol in zip(coeffs, source):
+                    numerator += coeff * symbol
+                coded.append((k + 1 + offset, (numerator % prime) * inv_denominator % prime))
         return coded
 
     def decode(self, received: Sequence[Tuple[int, int]], source_count: int) -> List[int]:
@@ -156,8 +214,19 @@ class ErasureCode:
         if all(index in unique for index in range(1, source_count + 1)):
             return [unique[index] for index in range(1, source_count + 1)]
         points = list(unique.items())[:source_count]
-        interpolator = _BarycentricInterpolator(points, self.prime)
-        return [interpolator.evaluate(x) for x in range(1, source_count + 1)]
+        prime = self.prime
+        xs = tuple(x for x, _ in points)
+        ys = [y % prime for _, y in points]
+        source: List[int] = []
+        for coeffs, tail in _decode_rows(xs, source_count):
+            if not coeffs:
+                source.append(ys[tail])  # marker row: systematic symbol
+                continue
+            numerator = 0
+            for coeff, y in zip(coeffs, ys):
+                numerator += coeff * y
+            source.append((numerator % prime) * tail % prime)
+        return source
 
     # ------------------------------------------------------------------
     def overhead_bits(self, source_bits: int) -> int:

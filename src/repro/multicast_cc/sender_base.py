@@ -55,6 +55,13 @@ class LayeredSenderBase:
         self.slot_clock = SlotClock(self.sim, spec.slot_duration_s)
         self.slot_clock.on_slot_start(self._on_slot_start)
 
+        # Per-group constants, precomputed once: the transmit loop runs per
+        # packet and must not re-derive rates or re-validate addresses.
+        groups = range(1, spec.group_count + 1)
+        self._group_address = [None] + [spec.address_of(g) for g in groups]
+        self._interval_s = [0.0] + [spec.packet_interval_s(g) for g in groups]
+        self._pool = network.multicast.packet_pool
+
         self._group_seq: Dict[int, int] = {g: 0 for g in range(1, spec.group_count + 1)}
         self._current_upgrades: Tuple[int, ...] = ()
         self._started = False
@@ -80,7 +87,7 @@ class LayeredSenderBase:
             # Stagger group start times slightly so slot boundaries do not see
             # synchronised bursts across layers.
             offset = self.rng.uniform(0.0, self.spec.packet_interval_s(group))
-            self.sim.schedule(offset, self._transmit_group, group)
+            self.sim.call_after(offset, self._transmit_group, group)
 
     def stop(self) -> None:
         self._started = False
@@ -112,18 +119,17 @@ class LayeredSenderBase:
     def _transmit_group(self, group: int) -> None:
         if not self._started:
             return
-        interval = self.spec.packet_interval_s(group)
+        interval = self._interval_s[group]
         self._send_group_packet(group, interval)
         # Jitter the spacing by ±10 % around the nominal interval.  The mean
         # rate is unchanged, but the de-phasing prevents the strictly periodic
         # layer schedules from locking competing TCP flows out of the
         # drop-tail bottleneck queue.
         jittered = interval * self.rng.uniform(0.9, 1.1)
-        self.sim.schedule(jittered, self._transmit_group, group)
+        self.sim.call_after(jittered, self._transmit_group, group)
 
     def _has_subscribers(self, group: int) -> bool:
-        address = self.spec.address_of(group)
-        return bool(self.network.multicast.members(address))
+        return self.network.multicast.has_members(self._group_address[group])
 
     def _send_group_packet(self, group: int, interval: float) -> None:
         if self.suppress_unsubscribed_groups and not self._has_subscribers(group):
@@ -134,9 +140,11 @@ class LayeredSenderBase:
         is_last_in_slot = (self.sim.now + interval) >= (slot_end - 1e-9)
         seq = self._group_seq[group]
         self._group_seq[group] = seq + 1
-        packet = Packet(
+        # DATA packets dominate the allocation profile; draw them from the
+        # network's pool (the forwarding plane recycles them when dead).
+        packet = self._pool.acquire(
             source=self.host.address,
-            destination=self.spec.address_of(group),
+            destination=self._group_address[group],
             size_bytes=self.spec.packet_bytes,
             protocol="flid",
             headers={

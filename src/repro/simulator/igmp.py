@@ -104,6 +104,7 @@ class IgmpHostInterface:
         )
 
     def leave_all(self) -> None:
+        """Send a leave report for every currently joined group."""
         for value in list(self.joined):
             self.leave(GroupAddress(value))
 

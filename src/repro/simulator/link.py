@@ -115,6 +115,10 @@ class Link:
         if not accepted:
             if self.on_drop is not None:
                 self.on_drop(packet)
+            pool = packet._pool
+            if pool is not None:
+                # A dropped pool replica has no remaining consumer: recycle.
+                pool.release(packet)
             return False
         if not self._busy:
             self._start_next_transmission()
@@ -127,16 +131,18 @@ class Link:
             self._busy = False
             return
         self._busy = True
-        tx_time = self.transmission_time(packet)
-        self.stats.transmitted_packets += 1
-        self.stats.transmitted_bytes += packet.size_bytes
+        size_bytes = packet.size_bytes
+        tx_time = size_bytes * 8 / self.bandwidth_bps
+        stats = self.stats
+        stats.transmitted_packets += 1
+        stats.transmitted_bytes += size_bytes
         # Transmission completes after tx_time; the packet arrives at the
         # destination a propagation delay later.  The link becomes free for
         # the next queued packet as soon as serialization finishes.
-        self.sim.schedule(tx_time, self._transmission_complete, packet)
+        self.sim.call_after(tx_time, self._transmission_complete, packet)
 
     def _transmission_complete(self, packet: Packet) -> None:
-        self.sim.schedule(self.delay_s, self._deliver, packet)
+        self.sim.call_after(self.delay_s, self._deliver, packet)
         self._start_next_transmission()
 
     def _deliver(self, packet: Packet) -> None:

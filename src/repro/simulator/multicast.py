@@ -18,12 +18,13 @@ routing plane) dominates responsiveness.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Set
 
 from .address import GroupAddress
 from .engine import Simulator
 from .link import Link
 from .node import Host, Router
+from .packet import PacketPool
 
 __all__ = ["MulticastRoutingService", "MembershipStats"]
 
@@ -53,8 +54,13 @@ class MulticastRoutingService:
         self.graft_delay_s = graft_delay_s
         self.prune_delay_s = prune_delay_s
         self._members: Dict[int, Set[Host]] = {}
-        #: Forwarding cache: (router name, group value) -> list of out links.
-        self._cache: Dict[tuple[str, int], List[Link]] = {}
+        #: Replication tables: group value -> {router name -> out links}.
+        #: Rebuilt lazily per router after a membership change invalidates
+        #: the group's table (an O(1) pop, not a cache scan).
+        self._tables: Dict[int, Dict[str, List[Link]]] = {}
+        #: Free-list for the multicast data plane: routers draw replicas
+        #: from here and the forwarding plane recycles them when dead.
+        self.packet_pool = PacketPool()
         self.stats = MembershipStats()
 
     # ------------------------------------------------------------------
@@ -64,7 +70,16 @@ class MulticastRoutingService:
         """Hosts currently receiving ``group`` (a copy; safe to mutate)."""
         return set(self._members.get(int(group), set()))
 
+    def has_members(self, group: GroupAddress) -> bool:
+        """True when ``group`` has at least one member (no set copy).
+
+        The senders' suppress-unsubscribed-groups fast path calls this once
+        per prospective packet, so it must stay allocation-free.
+        """
+        return bool(self._members.get(group.value))
+
     def is_member(self, host: Host, group: GroupAddress) -> bool:
+        """True when ``host`` currently receives ``group``."""
         return host in self._members.get(int(group), set())
 
     def groups_of(self, host: Host) -> List[GroupAddress]:
@@ -84,7 +99,7 @@ class MulticastRoutingService:
         if immediate or self.graft_delay_s == 0:
             self._do_join(host, group)
         else:
-            self.sim.schedule(self.graft_delay_s, self._do_join, host, group)
+            self.sim.call_after(self.graft_delay_s, self._do_join, host, group)
 
     def leave(self, host: Host, group: GroupAddress, immediate: bool = False) -> None:
         """Remove ``host`` from ``group`` after the prune latency."""
@@ -92,7 +107,7 @@ class MulticastRoutingService:
         if immediate or self.prune_delay_s == 0:
             self._do_leave(host, group)
         else:
-            self.sim.schedule(self.prune_delay_s, self._do_leave, host, group)
+            self.sim.call_after(self.prune_delay_s, self._do_leave, host, group)
 
     def leave_all(self, host: Host, immediate: bool = True) -> None:
         """Remove a host from every group (used at session teardown)."""
@@ -114,10 +129,8 @@ class MulticastRoutingService:
             self._invalidate(group)
 
     def _invalidate(self, group: GroupAddress) -> None:
-        value = int(group)
-        stale = [key for key in self._cache if key[1] == value]
-        for key in stale:
-            del self._cache[key]
+        """Drop the group's replication table after a membership change."""
+        self._tables.pop(group.value, None)
 
     # ------------------------------------------------------------------
     # forwarding
@@ -126,19 +139,26 @@ class MulticastRoutingService:
         """Outgoing links on which ``router`` must replicate ``group`` traffic.
 
         The answer is the deduplicated set of next-hop links from ``router``
-        toward every current member host, cached until membership changes.
+        toward every current member host, precomputed per (group, router)
+        and invalidated only by an effective IGMP/SIGMA join or leave —
+        never recomputed per packet.
         """
-        key = (router.name, int(group))
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
+        value = group.value
+        table = self._tables.get(value)
+        if table is None:
+            table = {}
+            self._tables[value] = table
+        else:
+            cached = table.get(router.name)
+            if cached is not None:
+                return cached
         links: List[Link] = []
         seen: set[int] = set()
         # Member sets hash hosts by identity, so raw set order varies between
         # processes; replicating in address order keeps packet interleaving —
         # and therefore drop patterns — byte-identical across runs and across
         # the serial and process-pool experiment runner paths.
-        members = sorted(self._members.get(int(group), ()), key=lambda h: int(h.address))
+        members = sorted(self._members.get(value, ()), key=lambda h: int(h.address))
         for host in members:
             link = router.route_for(host.address)
             if link is None:
@@ -146,7 +166,7 @@ class MulticastRoutingService:
             if id(link) not in seen:
                 seen.add(id(link))
                 links.append(link)
-        self._cache[key] = links
+        table[router.name] = links
         return links
 
     # ------------------------------------------------------------------

@@ -44,6 +44,7 @@ class PacketAgent:
     """
 
     def handle_packet(self, packet: Packet) -> None:  # pragma: no cover - interface
+        """Consume one delivered packet (must not retain it past the call)."""
         raise NotImplementedError
 
 
@@ -69,7 +70,7 @@ class ControlChannel:
         """Deliver ``handler(*args)`` after the channel delay."""
         self.messages_sent += 1
         self.bytes_sent += size_bytes
-        self.sim.schedule(self.delay_s, handler, *args)
+        self.sim.call_after(self.delay_s, handler, *args)
 
 
 class Node:
@@ -103,6 +104,7 @@ class Node:
         return self.routes.get(int(destination), self.default_route)
 
     def receive(self, packet: Packet, link: Optional[Link]) -> None:  # pragma: no cover
+        """Accept a packet delivered by ``link`` (None for direct injection)."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
@@ -135,6 +137,7 @@ class Host(Node):
         self._group_agents.setdefault(int(group), []).append(agent)
 
     def unregister_group_agent(self, group: GroupAddress, agent: PacketAgent) -> None:
+        """Remove a previously registered group agent (no-op when absent)."""
         agents = self._group_agents.get(int(group), [])
         if agent in agents:
             agents.remove(agent)
@@ -144,7 +147,10 @@ class Host(Node):
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
         """Hand a locally generated packet to the network."""
-        link = self.route_for(packet.destination) if not packet.is_multicast else self.default_route
+        if packet.multicast:
+            link = self.default_route
+        else:
+            link = self.routes.get(packet.dest_key, self.default_route)
         if link is None:
             # A host always has exactly one uplink in the paper's topologies;
             # fall back to it for multicast or unrouted destinations.
@@ -154,10 +160,22 @@ class Host(Node):
         return link.send(packet)
 
     def receive(self, packet: Packet, link: Optional[Link]) -> None:
+        """Dispatch a delivered packet to the registered agent(s).
+
+        Agents must not retain the packet beyond ``handle_packet``: the host
+        is the terminal consumer of a multicast replica and recycles pooled
+        packets once dispatch returns (see
+        :class:`~repro.simulator.packet.PacketPool`).
+        """
         self.packets_received += 1
-        if packet.is_multicast:
-            for agent in self._group_agents.get(int(packet.destination), []):
-                agent.handle_packet(packet)
+        if packet.multicast:
+            agents = self._group_agents.get(packet.dest_key)
+            if agents:
+                for agent in agents:
+                    agent.handle_packet(packet)
+            pool = packet._pool
+            if pool is not None:
+                pool.release(packet)
             return
         key = packet.headers.get("port")
         agent = self._agents.get(key)
@@ -186,6 +204,7 @@ class Router(Node):
 
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, link: Optional[Link]) -> None:
+        """Forward a packet: unicast by destination key, multicast by fan-out."""
         self.packets_received += 1
         if packet.is_multicast:
             self._forward_multicast(packet, link)
@@ -194,34 +213,49 @@ class Router(Node):
 
     # ------------------------------------------------------------------
     def _forward_unicast(self, packet: Packet) -> None:
-        out = self.route_for(packet.destination)
+        out = self.routes.get(packet.dest_key, self.default_route)
         if out is None:
             return  # no route: drop silently (counted by tests via link stats)
         self.packets_forwarded += 1
         out.send(packet)
 
     def _forward_multicast(self, packet: Packet, incoming: Optional[Link]) -> None:
-        if self.multicast_service is None:
-            return
-        group = packet.destination
-        assert isinstance(group, GroupAddress)
+        """Replicate ``packet`` along the group's precomputed out-links.
 
-        intercept = bool(packet.headers.get("sigma_intercept"))
+        Replication is zero-copy: each out-link gets a
+        :meth:`~repro.simulator.packet.Packet.replicate` of the incoming
+        packet (shared headers, private ECN/hop state) drawn from the
+        network's packet pool.  The incoming packet itself is absorbed here
+        — every branch sends a replica, never the original — so it is
+        recycled once the fan-out completes.
+        """
+        service = self.multicast_service
+        if service is None:
+            return
+
+        intercept = packet.headers.get("sigma_intercept")
         if intercept and self.group_manager is not None:
             handler = getattr(self.group_manager, "handle_control_packet", None)
             if handler is not None:
                 handler(packet)
 
-        out_links = self.multicast_service.out_links(self, group)
+        out_links = service.out_links(self, packet.destination)
         self.multicast_packets_forwarded += 1
+        copies = 0
+        pool = service.packet_pool
+        hook = self.local_delivery_hook
+        incoming_src = incoming.src if incoming is not None else None
         for out in out_links:
-            if incoming is not None and out.dst is incoming.src:
+            dst = out.dst
+            if dst is incoming_src:
                 continue  # never send back toward where the packet came from
-            is_local_interface = isinstance(out.dst, Host)
+            is_local_interface = isinstance(dst, Host)
             if intercept and is_local_interface:
                 continue  # special packets never reach local interfaces
-            copy = packet.copy()
-            if is_local_interface and self.local_delivery_hook is not None:
-                self.local_delivery_hook(copy, out)
-            self.multicast_copies_sent += 1
+            copy = packet.replicate(pool)
+            if is_local_interface and hook is not None:
+                hook(copy, out)
+            copies += 1
             out.send(copy)
+        self.multicast_copies_sent += copies
+        pool.release(packet)

@@ -73,10 +73,12 @@ class DropTailQueue:
 
     @property
     def queued_bytes(self) -> int:
+        """Bytes currently held in the queue."""
         return self._queued_bytes
 
     @property
     def is_empty(self) -> bool:
+        """True when no packet is queued."""
         return not self._queue
 
     def occupancy(self) -> float:
@@ -138,6 +140,7 @@ class ECNMarkingQueue(DropTailQueue):
         self.mark_threshold = mark_threshold
 
     def enqueue(self, packet: Packet) -> bool:
+        """Mark the packet when occupancy exceeds the threshold, then enqueue."""
         if self.occupancy() >= self.mark_threshold:
             packet.ecn = True
             self.stats.marked_packets += 1

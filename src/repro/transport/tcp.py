@@ -147,7 +147,7 @@ class TcpRenoSender:
                 self._last_departure + 1e-6,
             )
             self._last_departure = departure
-            self.sim.schedule(departure - self.sim.now, self.host.send, packet)
+            self.sim.call_after(departure - self.sim.now, self.host.send, packet)
         else:
             self.host.send(packet)
         if self._rto_event is None:

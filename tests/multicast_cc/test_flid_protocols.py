@@ -155,15 +155,17 @@ class TestFlidDs:
         captured = []
 
         class Spy:
+            # Agents must not retain delivered packets (the host recycles
+            # pooled replicas after dispatch); snapshot the headers instead.
             def handle_packet(self, packet):
-                captured.append(packet)
+                captured.append(dict(packet.headers))
 
         receiver.host.register_group_agent(spec.minimal_group(), Spy())
         sender.start()
         receiver.start()
         net.run(until=3.0)
         assert captured
-        assert all(h.COMPONENT in p.headers for p in captured)
+        assert all(h.COMPONENT in hdrs for hdrs in captured)
 
     def test_two_receivers_both_served(self):
         net, spec, sender, receivers, agent = build_ds(receivers=2)
