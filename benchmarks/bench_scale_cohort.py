@@ -1,0 +1,110 @@
+"""Scale benchmark: cohort-aggregated receivers vs the individual model.
+
+The cohort refactor's claim is that per-event cost is O(edge interfaces)
+rather than O(receivers), so the *receivers simulated per wall-clock second*
+must grow roughly linearly with the cohort size.  This benchmark measures
+that rate for
+
+* the **individual** model at a reference population it can feasibly carry
+  (``REFERENCE_RECEIVERS`` per-object receivers), and
+* the **cohort** model at ``SCALE_RECEIVERS`` (10,000) receivers,
+
+on the same ``scale-dumbbell-10k`` scenario shape, and asserts the cohort
+rate is at least ``MIN_SPEEDUP``× (50×) the individual rate.  (Running the
+individual model at 10k receivers outright would take hours and gigabytes —
+the reference population is where its receivers-per-second rate is measured;
+the rate only *falls* with N for the individual model, so the comparison is
+conservative.)
+
+Results land in ``benchmarks/results/BENCH_scale_cohort.json`` and — so the
+cross-PR perf trajectory has a stable, top-level anchor — in
+``BENCH_scale.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from repro.analysis import write_json
+from repro.experiments import scale_dumbbell_spec
+from repro.experiments.scenario import Scenario
+
+#: The allocation profile of the two receiver models is part of what this
+#: benchmark measures; opt in to the harness's tracemalloc probe (both model
+#: variants run traced, so the speedup ratio stays a fair comparison).
+TRACEMALLOC_BENCH = True
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TOP_LEVEL_BENCH = REPO_ROOT / "BENCH_scale.json"
+
+SCALE_RECEIVERS = 10_000
+REFERENCE_RECEIVERS = 50
+BENCH_DURATION_S = 10.0
+
+#: Regression floor: receivers simulated per wall second, cohort model at
+#: 10k receivers versus the individual model at its reference population.
+MIN_SPEEDUP = 50.0
+
+
+def _run(model: str, receivers: int) -> dict:
+    """Run one model variant and measure its receivers-per-second rate."""
+    spec = scale_dumbbell_spec(
+        receivers=receivers,
+        model=model,
+        duration_s=BENCH_DURATION_S,
+        attack_start_s=4.0,
+    )
+    scenario = Scenario.from_spec(spec)
+    start = time.perf_counter()
+    scenario.run(BENCH_DURATION_S)
+    wall_s = time.perf_counter() - start
+    audience = scenario.sessions[0]
+    population = audience.total_population
+    assert population == receivers
+    # Sanity: the audience actually subscribed and received traffic.
+    assert audience.receivers[0].level > 0
+    assert audience.receivers[0].monitor.total_bytes > 0
+    return {
+        "model": model,
+        "receivers": receivers,
+        "wall_s": wall_s,
+        "receivers_per_sec": receivers / wall_s if wall_s > 0 else 0.0,
+        "events_executed": scenario.network.sim.events_executed,
+        "audience_level": audience.receivers[0].level,
+    }
+
+
+def test_cohort_receivers_per_second_floor(bench_record):
+    """Cohort at 10k receivers must be >= 50x the individual model's rate."""
+    individual = _run("individual", REFERENCE_RECEIVERS)
+    cohort = _run("cohort", SCALE_RECEIVERS)
+    speedup = cohort["receivers_per_sec"] / max(individual["receivers_per_sec"], 1e-9)
+
+    metrics = {
+        "individual": individual,
+        "cohort": cohort,
+        "speedup_receivers_per_sec": speedup,
+        "min_speedup": MIN_SPEEDUP,
+    }
+    path = bench_record(metrics, name="scale_cohort")
+    # Top-level anchor tracked across PRs (uploaded by the scale-smoke CI job).
+    payload = {
+        "bench": "scale_cohort",
+        "source": str(path.relative_to(REPO_ROOT)),
+        "metrics": metrics,
+    }
+    write_json(TOP_LEVEL_BENCH, payload)
+
+    print(
+        f"\nindividual: {individual['receivers']} receivers in "
+        f"{individual['wall_s']:.2f}s ({individual['receivers_per_sec']:,.0f} rx/s)\n"
+        f"cohort:     {cohort['receivers']} receivers in "
+        f"{cohort['wall_s']:.2f}s ({cohort['receivers_per_sec']:,.0f} rx/s)\n"
+        f"speedup:    {speedup:,.1f}x (floor {MIN_SPEEDUP}x)"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"cohort model delivers only {speedup:.1f}x receivers/s over the "
+        f"individual model (floor {MIN_SPEEDUP}x) — per-receiver cost has "
+        "crept back into the hot path"
+    )

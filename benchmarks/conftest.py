@@ -11,9 +11,25 @@ tables).  Each benchmark additionally writes a machine-readable
 ``benchmarks/results/BENCH_<name>.json`` (runtime plus its key metrics) via
 the ``bench_record`` fixture, so the performance trajectory can be compared
 across commits.
+
+Memory instrumentation
+----------------------
+Every ``BENCH_*.json`` carries a ``memory`` block: the process peak RSS
+(``resource.getrusage``) and a GC live-object count — both free to read, so
+``runtime_s`` stays comparable across commits.  Benchmarks where the
+allocation profile is itself the measurement opt in to :mod:`tracemalloc`
+tracing by defining ``TRACEMALLOC_BENCH = True`` at module level (the
+cohort scale benchmark does); their ``memory`` block additionally records
+the traced current/peak heap and live allocated-block count.  Tracing slows
+allocation-heavy runs several-fold, which is why it is opt-in: an autouse
+probe would silently inflate every benchmark's recorded runtime.
 """
 
+import gc
 import pathlib
+import resource
+import sys
+import tracemalloc
 
 import pytest
 
@@ -40,9 +56,50 @@ def _benchmark_runtime_s(benchmark):
         return None
 
 
+def _peak_rss_kb() -> float:
+    """Process peak resident set size in KiB (ru_maxrss is bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak / 1024.0 if sys.platform == "darwin" else float(peak)
+
+
+def memory_snapshot() -> dict:
+    """The ``memory`` block recorded into every ``BENCH_*.json``."""
+    snapshot = {
+        "peak_rss_kb": _peak_rss_kb(),
+        "gc_tracked_objects": len(gc.get_objects()),
+    }
+    if tracemalloc.is_tracing():
+        current, peak = tracemalloc.get_traced_memory()
+        snapshot["tracemalloc"] = {
+            "current_kb": current / 1024.0,
+            "peak_kb": peak / 1024.0,
+            "live_blocks": len(tracemalloc.take_snapshot().traces),
+        }
+    return snapshot
+
+
+@pytest.fixture(autouse=True)
+def _tracemalloc_probe(request):
+    """Trace allocations around tests whose module opts in.
+
+    Opt-in (``TRACEMALLOC_BENCH = True``) rather than autouse-on, so that
+    the ``runtime_s`` recorded by ordinary figure benchmarks stays
+    comparable across commits; tracing is left alone when something else
+    already started it.
+    """
+    if not getattr(request.module, "TRACEMALLOC_BENCH", False) or tracemalloc.is_tracing():
+        yield
+        return
+    tracemalloc.start()
+    try:
+        yield
+    finally:
+        tracemalloc.stop()
+
+
 @pytest.fixture
 def bench_record(request):
-    """Write ``BENCH_<name>.json`` with runtime and key metrics for this test."""
+    """Write ``BENCH_<name>.json`` with runtime, memory and key metrics."""
 
     def record(metrics, benchmark=None, name=None):
         bench_name = name or request.node.name
@@ -51,6 +108,7 @@ def bench_record(request):
         payload = {
             "bench": bench_name,
             "runtime_s": _benchmark_runtime_s(benchmark) if benchmark is not None else None,
+            "memory": memory_snapshot(),
             "metrics": metrics,
         }
         return write_json(RESULTS_DIR / f"BENCH_{bench_name}.json", payload)

@@ -18,6 +18,6 @@ The package is organised bottom-up:
   settings as defaults.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -105,6 +106,31 @@ def _resolve_spec(args: argparse.Namespace):
     return entry, spec
 
 
+def _run_population(result) -> int:
+    """Receivers one run simulated, cohort-aware.
+
+    Sessions that declare cohorts report an explicit ``population``; plain
+    sessions count one receiver per goodput entry.
+    """
+    total = 0
+    for session in result.metrics.get("multicast", {}).values():
+        total += session.get("population", len(session.get("receiver_kbps", ())))
+    return total
+
+
+def _format_population_rate(results, wall_s: float, cache_hits: int) -> str:
+    """One-line receivers-simulated-per-second summary for ``run`` output."""
+    total = sum(_run_population(result) for result in results)
+    rate = total / wall_s if wall_s > 0 else 0.0
+    line = (
+        f"receivers simulated: {total:,} across {len(results)} run(s) "
+        f"in {wall_s:.2f}s wall ({rate:,.0f} receivers/s)"
+    )
+    if cache_hits:
+        line += f" [{cache_hits} cached run(s); rate includes cache hits]"
+    return line
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     resolved = _resolve_spec(args)
     if resolved is None:
@@ -115,13 +141,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    wall_start = time.perf_counter()
     results = runner.run_seed_sweep(spec, range(args.seeds))
+    wall_s = time.perf_counter() - wall_start
 
     print(f"{entry.name}: {entry.description}")
     print(
         f"topology={spec.topology} protected={spec.protected} "
         f"duration={spec.effective_duration_s:g}s seeds={args.seeds} jobs={args.jobs}"
     )
+    print(_format_population_rate(results, wall_s, runner.cache_hits))
     rows = []
     for result in results:
         for session_id, session in result.metrics["multicast"].items():

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
     "honest_baseline_kbps",
+    "weighted_honest_baseline_kbps",
     "excess_goodput_kbps",
     "time_to_containment_s",
     "goodput_containment_s",
@@ -37,6 +38,27 @@ def honest_baseline_kbps(
     if not rates:
         return fallback_kbps
     return sum(rates) / len(rates)
+
+
+def weighted_honest_baseline_kbps(
+    rates_and_weights_kbps: Sequence[Tuple[float, int]], fallback_kbps: float
+) -> float:
+    """Population-weighted honest baseline.
+
+    Each ``(rate, weight)`` pair is one receiver *model*: an individual
+    receiver weighs 1 and a cohort weighs its member count, so the baseline
+    is the mean goodput over *end systems* rather than over receiver
+    objects.  With unit weights this reduces — bit for bit (``rate * 1`` is
+    exact in IEEE arithmetic) — to :func:`honest_baseline_kbps`, which keeps
+    every pre-population protection metric byte-identical.
+    """
+    pairs = list(rates_and_weights_kbps)
+    if not pairs:
+        return fallback_kbps
+    total = sum(weight for _, weight in pairs)
+    if total <= 0:
+        return fallback_kbps
+    return sum(rate * weight for rate, weight in pairs) / total
 
 
 def excess_goodput_kbps(attacker_kbps: float, baseline_kbps: float) -> float:

@@ -24,15 +24,24 @@ __all__ = ["SigmaHostInterface"]
 class SigmaHostInterface:
     """Host-side stub that sends SIGMA messages to the local edge router."""
 
-    def __init__(self, host: Host, session_id: str, key_bits: int = 16) -> None:
+    def __init__(
+        self, host: Host, session_id: str, key_bits: int = 16, member_count: int = 1
+    ) -> None:
         if host.edge_router is None or host.control is None:
             raise RuntimeError(
                 f"host {host.name} is not attached to an edge router; "
                 "attach it before creating a SIGMA interface"
             )
+        if member_count < 1:
+            raise ValueError("member_count must be at least 1")
         self.host = host
         self.session_id = session_id
         self.key_bits = key_bits
+        #: Receivers this interface speaks for (1 for a plain host; N when the
+        #: host aggregates a homogeneous receiver cohort).  Stamped on every
+        #: outgoing message so the edge router books keys per receiver while
+        #: verifying them once per interface.
+        self.member_count = member_count
         self.subscription_messages_sent = 0
         self.session_joins_sent = 0
         self.unsubscriptions_sent = 0
@@ -50,7 +59,11 @@ class SigmaHostInterface:
     def session_join(self, minimal_group: GroupAddress) -> None:
         """Request key-less admission to the session's minimal group."""
         manager = self._manager()
-        message = SessionJoinMessage(session_id=self.session_id, minimal_group=minimal_group)
+        message = SessionJoinMessage(
+            session_id=self.session_id,
+            minimal_group=minimal_group,
+            member_count=self.member_count,
+        )
         self.session_joins_sent += 1
         self.host.control.send(
             manager.handle_session_join,
@@ -65,7 +78,10 @@ class SigmaHostInterface:
             return
         manager = self._manager()
         message = SubscriptionMessage(
-            session_id=self.session_id, slot=slot, pairs=tuple(pairs)
+            session_id=self.session_id,
+            slot=slot,
+            pairs=tuple(pairs),
+            member_count=self.member_count,
         )
         self.subscription_messages_sent += 1
         self.host.control.send(

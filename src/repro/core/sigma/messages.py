@@ -49,10 +49,17 @@ _ABSENT = 0xFFFF_FFFF
 
 @dataclass(frozen=True)
 class SessionJoinMessage:
-    """Figure 6(a): request key-less admission to the session's minimal group."""
+    """Figure 6(a): request key-less admission to the session's minimal group.
+
+    ``member_count`` is the number of receivers the sending interface
+    represents: 1 for an ordinary host, N for a
+    :mod:`~repro.multicast_cc.cohort` host aggregating N homogeneous
+    receivers behind one edge interface.
+    """
 
     session_id: str
     minimal_group: GroupAddress
+    member_count: int = 1
 
     def size_bytes(self) -> int:
         """Approximate wire size (session tag + one group address)."""
@@ -61,11 +68,18 @@ class SessionJoinMessage:
 
 @dataclass(frozen=True)
 class SubscriptionMessage:
-    """Figure 6(b): per-slot subscription with one key per requested group."""
+    """Figure 6(b): per-slot subscription with one key per requested group.
+
+    A cohort interface submits each (group, key) pair once on behalf of
+    ``member_count`` receivers; the edge router verifies the key once and
+    books the delivery for the whole population (§3.2's per-interface model
+    — the router never needed per-receiver state behind an interface).
+    """
 
     session_id: str
     slot: int
     pairs: Tuple[Tuple[GroupAddress, int], ...]
+    member_count: int = 1
 
     def size_bytes(self, key_bits: int = 16) -> int:
         """Approximate wire size: slot number plus (address, key) pairs."""

@@ -151,8 +151,13 @@ class SigmaRouterAgent:
     # receiver-facing messages
     # ------------------------------------------------------------------
     def handle_session_join(self, host: Host, message: SessionJoinMessage) -> None:
-        """Admit a new receiver to the minimal group without a key (§3.2.2)."""
-        self.session_joins += 1
+        """Admit a new receiver to the minimal group without a key (§3.2.2).
+
+        A cohort interface joins once on behalf of ``message.member_count``
+        receivers; the admission work (grace window, forwarding state) is per
+        interface, so its cost does not grow with the population.
+        """
+        self.session_joins += message.member_count
         self._hosts[host.name] = host
         record = self._record_for(host, message.minimal_group)
         grace = self.slot_clock.current_slot + self.config.session_join_grace_slots
@@ -160,11 +165,19 @@ class SigmaRouterAgent:
         self._start_forwarding(host, record)
 
     def handle_subscription(self, host: Host, message: SubscriptionMessage) -> None:
-        """Verify each (group, key) pair and extend access for valid ones."""
+        """Verify each (group, key) pair and extend access for valid ones.
+
+        Key verification is amortised per interface: each pair is matched
+        against the key table exactly once, and the delivery is booked for
+        the ``message.member_count`` receivers the interface represents —
+        the submission counters therefore track *receivers served*, matching
+        what the same population of individual hosts would produce.
+        """
         self._hosts[host.name] = host
+        members = message.member_count
         for group, key in message.pairs:
             if self.key_table.accepts(message.slot, group, key):
-                self.valid_submissions += 1
+                self.valid_submissions += members
                 record = self._record_for(host, group)
                 record.granted_slots.add(message.slot)
                 if not record.forwarding:
@@ -172,7 +185,7 @@ class SigmaRouterAgent:
                     record.grace_until_slot = max(record.grace_until_slot, grace)
                     self._start_forwarding(host, record)
             else:
-                self.invalid_submissions += 1
+                self.invalid_submissions += members
                 self._note_invalid(host, group, message.slot)
 
     def handle_unsubscription(self, host: Host, message: UnsubscriptionMessage) -> None:
@@ -186,7 +199,7 @@ class SigmaRouterAgent:
     # Legacy IGMP entry points: a SIGMA router ignores bare IGMP reports, which
     # is precisely what blocks the Figure 1 attack at protected edges.
     def handle_join(self, host: Host, group: GroupAddress) -> None:
-        self.igmp_joins_ignored += 1
+        self.igmp_joins_ignored += getattr(host, "population", 1)
 
     def handle_leave(self, host: Host, group: GroupAddress) -> None:
         record = self._access.get((host.name, int(group)))
@@ -207,7 +220,9 @@ class SigmaRouterAgent:
             if host is None:
                 continue
             self._stop_forwarding(host, record)
-            self.revocations += 1
+            # One revocation event per represented receiver, so the counter
+            # reads the same whether the population is aggregated or not.
+            self.revocations += getattr(host, "population", 1)
         self.key_table.prune_for_current_slot(slot)
         self._prune_access(slot)
 

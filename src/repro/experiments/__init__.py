@@ -18,7 +18,7 @@ The stack is layered:
 """
 
 from .config import PAPER_DEFAULTS, ExperimentConfig
-from .spec import CbrDecl, ScenarioSpec, SessionDecl, TcpDecl
+from .spec import CbrDecl, CohortDecl, ScenarioSpec, SessionDecl, TcpDecl
 from .registry import (
     ScenarioEntry,
     list_scenarios,
@@ -66,15 +66,19 @@ from .figure9 import (
     run_measured_overhead,
     run_slot_duration_sweep,
 )
+from .scale import scale_dumbbell_spec, scale_overhead_spec
 from .scenario import MulticastSession, Scenario
 
 __all__ = [
     "PAPER_DEFAULTS",
     "ExperimentConfig",
     "CbrDecl",
+    "CohortDecl",
     "ScenarioSpec",
     "SessionDecl",
     "TcpDecl",
+    "scale_dumbbell_spec",
+    "scale_overhead_spec",
     "ScenarioEntry",
     "list_scenarios",
     "register_scenario",

@@ -30,13 +30,14 @@ from ..analysis.protection import (
     combined_containment_s,
     excess_goodput_kbps,
     goodput_containment_s,
-    honest_baseline_kbps,
     time_to_containment_s,
+    weighted_honest_baseline_kbps,
 )
 from .scenario import Scenario
 from .spec import ScenarioSpec
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
     "RunResult",
     "ExperimentRunner",
     "collect_metrics",
@@ -44,6 +45,22 @@ __all__ = [
     "execute_spec",
     "run_spec_json",
 ]
+
+#: Bumped whenever the metric document schema (or what a run means for a
+#: given spec) changes.  Mixed into every cache key together with the package
+#: version so refactors can never resurrect stale cached results.
+CACHE_SCHEMA_VERSION = 2
+
+
+def _cache_version_tag() -> str:
+    """The ``<package version>:<schema version>:`` prefix of every cache key.
+
+    Looked up at call time (not import time) so the regression tests can
+    exercise a version change without reinstalling the package.
+    """
+    import repro
+
+    return f"{repro.__version__}:{CACHE_SCHEMA_VERSION}:"
 
 
 @dataclass(frozen=True)
@@ -112,6 +129,17 @@ def collect_metrics(scenario: Scenario, spec: ScenarioSpec) -> Dict[str, Any]:
             "average_kbps": sum(receiver_kbps) / len(receiver_kbps),
             "final_levels": [receiver.level for receiver in session.receivers],
         }
+        if decl.population:
+            # Population-weighted view, present only for sessions that
+            # declare cohorts (keeps legacy metric documents byte-identical).
+            populations = [model.population for model in session.models]
+            total = sum(populations)
+            entry["receiver_population"] = populations
+            entry["population"] = total
+            entry["weighted_average_kbps"] = (
+                sum(rate * count for rate, count in zip(receiver_kbps, populations))
+                / total
+            )
         if session.overhead is not None:
             delta_pct, sigma_pct = session.overhead.as_percentages()
             entry["overhead_percent"] = {"delta": delta_pct, "sigma": sigma_pct}
@@ -168,13 +196,16 @@ def collect_protection_metrics(
         return None
     global_onset = min(session_onsets.values())
 
+    # Honest receivers weighted by the population each model stands for:
+    # individuals weigh 1, a cohort weighs its member count.  Attacks only
+    # ever target individual indices, so every population block is honest.
     honest_rates = [
-        session.receivers[index].average_rate_kbps(global_onset, duration)
+        (receiver.average_rate_kbps(global_onset, duration), receiver.population)
         for decl, session in zip(spec.sessions, scenario.sessions)
-        for index in range(decl.receivers)
-        if index not in decl.attacker_indices()
+        for index, receiver in enumerate(session.receivers)
+        if index >= decl.receivers or index not in decl.attacker_indices()
     ]
-    baseline = honest_baseline_kbps(honest_rates, config.fair_share_bps / 1e3)
+    baseline = weighted_honest_baseline_kbps(honest_rates, config.fair_share_bps / 1e3)
 
     sessions: Dict[str, Any] = {}
     for decl, session in zip(spec.sessions, scenario.sessions):
@@ -257,12 +288,18 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     @staticmethod
     def cache_key(spec: ScenarioSpec) -> str:
-        """SHA-256 of the spec's canonical JSON — the result-cache key.
+        """SHA-256 over a version tag plus the spec's canonical JSON.
 
         Sound only because runs are byte-deterministic per spec (see
-        ``docs/determinism.md``).
+        ``docs/determinism.md``).  The package version and
+        :data:`CACHE_SCHEMA_VERSION` are mixed into the key: a cached result
+        is only reusable by the *same* code that produced it, so refactors
+        that change behaviour or the metric schema can never serve stale
+        documents from an old cache directory.
         """
-        return hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()
+        return hashlib.sha256(
+            (_cache_version_tag() + spec.to_json()).encode("utf-8")
+        ).hexdigest()
 
     def _cache_path(self, spec: ScenarioSpec) -> Optional[Path]:
         if self.cache_dir is None:

@@ -1,0 +1,122 @@
+"""Scale scenarios: cohort-aggregated audiences of 10k-100k+ receivers.
+
+The paper's claims are scaling claims — SIGMA's bound on inflated
+subscription damage holds for *any* honest audience size, and the §5.4
+overhead model is independent of the receiver count because keys travel once
+per edge router, not once per receiver.  The historical scenarios exercise
+tens of receivers; the two scenarios here push the population axis three
+orders of magnitude further by realising the honest audience as a
+:class:`~repro.experiments.spec.CohortDecl` (one aggregated receiver per
+edge interface; see ``docs/scale.md``):
+
+* ``scale-dumbbell-10k`` — the Figure 1/7 inflated-subscription duel with a
+  10,000-receiver honest audience behind the bottleneck: one individual
+  attacker inflates its subscription into a cohort-backed session, SIGMA
+  contains it, and the protection metrics are population-weighted.
+* ``scale-overhead-100k`` — the Figure 9 measured-overhead cross-check with
+  a 100,000-receiver audience: DELTA/SIGMA overhead on the wire must stay at
+  its per-session value however large the audience grows (the overhead
+  model's group-count axis, extended along the population dimension).
+
+Both builders accept ``model="individual"`` to realise the same spec with
+per-object receivers — the reference the equivalence tests and the
+``benchmarks/bench_scale_cohort.py`` speedup assertion compare against
+(at small counts; per-object 100k receivers would not fit in memory).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .config import PAPER_DEFAULTS, ExperimentConfig
+from .registry import register_scenario
+from .spec import CohortDecl, ScenarioSpec, SessionDecl
+
+__all__ = ["scale_dumbbell_spec", "scale_overhead_spec"]
+
+
+def scale_dumbbell_spec(
+    receivers: int = 10_000,
+    protected: bool = True,
+    attack_start_s: float = 10.0,
+    duration_s: Optional[float] = 30.0,
+    model: str = "cohort",
+    config: ExperimentConfig = PAPER_DEFAULTS,
+) -> ScenarioSpec:
+    """Inflated-subscription duel against a ``receivers``-strong audience.
+
+    Two sessions share a fair-share-sized dumbbell bottleneck: an
+    ``audience`` session whose honest population is one cohort of
+    ``receivers`` members, and an ``attacker`` session whose single
+    individual receiver mounts the paper's default inflated-subscription
+    stack from ``attack_start_s`` — few attackers, many honest receivers,
+    exactly the paper's threat model at scale.
+    """
+    return ScenarioSpec(
+        name="scale-dumbbell-10k",
+        protected=protected,
+        expected_sessions=2,
+        sessions=(
+            SessionDecl(
+                "audience",
+                receivers=0,
+                population=(CohortDecl(receivers, model=model),),
+            ),
+            SessionDecl(
+                "attacker",
+                receivers=1,
+                misbehaving=(0,),
+                attack_start_s=attack_start_s,
+            ),
+        ),
+        duration_s=duration_s,
+        config=config,
+    )
+
+
+register_scenario(
+    "scale-dumbbell-10k",
+    "Inflated-subscription attack against a 10,000-receiver cohort audience "
+    "on the paper's dumbbell (population-weighted protection metrics)",
+)(scale_dumbbell_spec)
+
+
+def scale_overhead_spec(
+    receivers: int = 100_000,
+    duration_s: Optional[float] = 30.0,
+    model: str = "cohort",
+    config: ExperimentConfig = PAPER_DEFAULTS,
+) -> ScenarioSpec:
+    """Figure 9's measured overhead with a ``receivers``-strong audience.
+
+    A generous bottleneck (twice the maximal cumulative session rate) keeps
+    the audience at the top subscription level and suppression is disabled,
+    so the full session rate flows and the measured DELTA/SIGMA overhead is
+    directly comparable with the analytic model — which predicts it does not
+    depend on the audience size at all, because keys travel per edge router.
+    """
+    max_rate_bps = config.base_rate_bps * config.rate_factor ** (config.group_count - 1)
+    return ScenarioSpec(
+        name="scale-overhead-100k",
+        protected=True,
+        expected_sessions=1,
+        bottleneck_bps=2.0 * max_rate_bps,
+        sessions=(
+            SessionDecl(
+                "audience",
+                receivers=0,
+                track_overhead=True,
+                suppress_unsubscribed_groups=False,
+                population=(CohortDecl(receivers, model=model),),
+            ),
+        ),
+        duration_s=duration_s,
+        config=config,
+    )
+
+
+register_scenario(
+    "scale-overhead-100k",
+    "Figure 9 overhead cross-check with a 100,000-receiver cohort audience: "
+    "protection overhead is independent of the population size",
+)(scale_overhead_spec)

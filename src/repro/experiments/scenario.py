@@ -34,10 +34,15 @@ from ..adversary.spec import AttackSpec
 from ..core.sigma import SigmaConfig, SigmaRouterAgent
 from ..core.timeslot import SlotClock
 from ..multicast_cc import (
+    CohortFlidDlReceiver,
+    CohortFlidDsReceiver,
     FlidDlReceiver,
     FlidDlSender,
     FlidDsReceiver,
     FlidDsSender,
+    IndividualReceiver,
+    ReceiverCohort,
+    ReceiverModel,
     SessionSpec,
 )
 from ..multicast_cc.receiver_base import LayeredReceiverBase
@@ -55,25 +60,44 @@ from ..simulator.topology import (
 from ..transport.cbr import CbrSink, OnOffCbrSource
 from ..transport.tcp import TcpConnection
 from .config import ExperimentConfig
-from .spec import ScenarioSpec
+from .spec import CohortDecl, ScenarioSpec
 
 __all__ = ["MulticastSession", "Scenario"]
 
 
 @dataclass
 class MulticastSession:
-    """Handles to one multicast session created by the scenario builder."""
+    """Handles to one multicast session created by the scenario builder.
+
+    ``receivers`` lists the live receiver *objects* (one per model — a
+    cohort receiver appears once however many members it aggregates);
+    ``models`` wraps each in its :class:`~repro.multicast_cc.receiver_model`
+    so metric code can weight by population without branching on kind.
+    """
 
     spec: SessionSpec
     protected: bool
     sender: LayeredSenderBase
     receivers: List[LayeredReceiverBase] = field(default_factory=list)
+    models: List[ReceiverModel] = field(default_factory=list)
     overhead: Optional[OverheadAccumulator] = None
 
     @property
     def receiver(self) -> LayeredReceiverBase:
         """The session's first (often only) receiver."""
         return self.receivers[0]
+
+    @property
+    def total_population(self) -> int:
+        """End systems served by the session across all receiver models."""
+        return sum(model.population for model in self.models)
+
+    def _adopt(self, receiver: LayeredReceiverBase, cohort: bool = False) -> None:
+        """Register a built receiver object under the matching model."""
+        self.receivers.append(receiver)
+        self.models.append(
+            ReceiverCohort(receiver) if cohort else IndividualReceiver(receiver)
+        )
 
 
 class Scenario:
@@ -185,6 +209,7 @@ class Scenario:
                 ),
                 track_overhead=session.track_overhead,
                 suppress_unsubscribed_groups=session.suppress_unsubscribed_groups,
+                population=session.population,
             )
         for tcp in spec.tcp:
             scenario.add_tcp_connection(
@@ -224,6 +249,7 @@ class Scenario:
         receiver_routers: Optional[List[Optional[str]]] = None,
         track_overhead: bool = False,
         suppress_unsubscribed_groups: bool = True,
+        population: Sequence[CohortDecl] = (),
     ) -> MulticastSession:
         """Create one multicast session with its sender and receivers.
 
@@ -233,6 +259,12 @@ class Scenario:
         historical shorthand: the listed indices mount the paper's default
         inflated-subscription stack from ``attack_start_s``.
         ``receiver_routers`` optionally pins receivers to named routers.
+
+        ``population`` appends blocks of homogeneous honest receivers after
+        the individual ones: each :class:`~repro.experiments.spec.CohortDecl`
+        is realised either as one aggregated cohort receiver (its default)
+        or, for reference runs, as ``count`` per-object receivers.  Attacks
+        never target population blocks.
         """
         index = len(self.sessions) + 1
         session_id = session_id or f"mc{index}"
@@ -277,11 +309,54 @@ class Scenario:
                 router=routers[r_index],
             )
             receiver = self._make_receiver(spec, host, per_receiver.get(r_index, ()))
-            session.receivers.append(receiver)
+            session._adopt(receiver)
             receiver.start(start_times[r_index])
+        for c_index, cohort in enumerate(population):
+            self._add_population(session, spec, session_id, c_index, cohort)
         sender.start()
         self.sessions.append(session)
         return session
+
+    def _add_population(
+        self,
+        session: MulticastSession,
+        spec: SessionSpec,
+        session_id: str,
+        c_index: int,
+        cohort: CohortDecl,
+    ) -> None:
+        """Realise one population block as a cohort or as individuals."""
+        if cohort.model == "individual":
+            # Reference realisation: the same population as per-object
+            # receivers (what the equivalence tests and the scale benchmark
+            # compare the aggregated model against).
+            for member in range(cohort.count):
+                host = self.network.add_receiver(
+                    f"{session_id}-pop{c_index + 1}-rx{member + 1}",
+                    router=cohort.router,
+                )
+                receiver = self._make_receiver(spec, host, ())
+                session._adopt(receiver)
+                receiver.start(cohort.start_s)
+            return
+        host = self.network.add_receiver(
+            f"{session_id}-cohort{c_index + 1}", router=cohort.router
+        )
+        receiver: LayeredReceiverBase
+        if self.protected:
+            receiver = CohortFlidDsReceiver(
+                self.network,
+                host,
+                spec,
+                population=cohort.count,
+                key_bits=self.config.key_bits,
+            )
+        else:
+            receiver = CohortFlidDlReceiver(
+                self.network, host, spec, population=cohort.count
+            )
+        session._adopt(receiver, cohort=True)
+        receiver.start(cohort.start_s)
 
     def _attacks_per_receiver(
         self,

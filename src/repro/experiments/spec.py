@@ -28,7 +28,49 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 from ..adversary.spec import AttackSpec
 from .config import PAPER_DEFAULTS, ExperimentConfig
 
-__all__ = ["SessionDecl", "TcpDecl", "CbrDecl", "ScenarioSpec"]
+__all__ = ["CohortDecl", "SessionDecl", "TcpDecl", "CbrDecl", "ScenarioSpec"]
+
+
+@dataclass(frozen=True)
+class CohortDecl:
+    """``count`` homogeneous honest receivers added to a session's population.
+
+    ``model`` selects how the scenario interpreter realises them:
+
+    * ``"cohort"`` (default) — one aggregated
+      :mod:`~repro.multicast_cc.cohort` receiver whose per-slot cost is
+      amortised over the population (sessions scale to 100k+ receivers);
+    * ``"individual"`` — ``count`` ordinary per-object receivers, the
+      reference realisation the equivalence tests and the scale benchmark
+      compare against.
+
+    ``router`` optionally pins the cohort to a named edge router (default:
+    the topology's round-robin receiver placement); ``start_s`` is the
+    members' shared join time.  Heterogeneity — attacks, staggered joins —
+    belongs in individual receivers or in *separate* cohorts, never inside
+    one cohort (see ``docs/scale.md`` for when aggregation is exact).
+    """
+
+    count: int
+    router: Optional[str] = None
+    start_s: float = 0.0
+    model: str = "cohort"
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("a cohort needs at least one receiver")
+        if self.model not in ("cohort", "individual"):
+            raise ValueError(f"unknown receiver model {self.model!r}")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CohortDecl":
+        """Rebuild a cohort declaration from its plain-data form."""
+        return cls(
+            count=payload["count"],
+            router=payload.get("router"),
+            start_s=payload.get("start_s", 0.0),
+            model=payload.get("model", "cohort"),
+        )
 
 
 @dataclass(frozen=True)
@@ -45,6 +87,13 @@ class SessionDecl:
     stack).  ``receiver_routers`` optionally pins each receiver to a named
     router of the topology; ``None`` entries (or omitting the field) fall
     back to the topology's round-robin receiver placement.
+
+    ``population`` appends :class:`CohortDecl` blocks of homogeneous honest
+    receivers *after* the ``receivers`` individual ones.  Attacks can only
+    target individual receiver indices (``0 .. receivers-1``) — adversaries
+    stay per-object receivers attacking into the aggregated audience, which
+    is the paper's threat model (few attackers, many honest receivers).  A
+    session declaring a population may set ``receivers=0``.
     """
 
     session_id: str
@@ -57,9 +106,12 @@ class SessionDecl:
     receiver_routers: Optional[Tuple[Optional[str], ...]] = None
     track_overhead: bool = False
     suppress_unsubscribed_groups: bool = True
+    population: Tuple[CohortDecl, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.receivers < 1:
+        if self.receivers < 0:
+            raise ValueError("receivers cannot be negative")
+        if self.receivers < 1 and not self.population:
             raise ValueError("a session needs at least one receiver")
         for index in self.misbehaving:
             if not 0 <= index < self.receivers:
@@ -93,6 +145,10 @@ class SessionDecl:
         if self.misbehaving:
             onsets.append(self.attack_start_s)
         return min(onsets) if onsets else None
+
+    def total_population(self) -> int:
+        """End systems the session stands for: individuals plus cohorts."""
+        return self.receivers + sum(cohort.count for cohort in self.population)
 
 
 @dataclass(frozen=True)
@@ -170,9 +226,17 @@ class ScenarioSpec:
     # serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-data form: nested dataclasses become dicts, tuples lists."""
+        """Plain-data form: nested dataclasses become dicts, tuples lists.
+
+        A session's ``population`` key is omitted when empty so that the
+        canonical JSON — and therefore every golden digest and cache key of
+        a pre-population spec — is byte-identical to what it always was.
+        """
         payload = asdict(self)
         payload["topology_params"] = dict(self.topology_params)
+        for session in payload["sessions"]:
+            if not session.get("population"):
+                session.pop("population", None)
         return payload
 
     def to_json(self) -> str:
@@ -199,6 +263,9 @@ class ScenarioSpec:
                 receiver_routers=_tuple(s.get("receiver_routers")),
                 track_overhead=s.get("track_overhead", False),
                 suppress_unsubscribed_groups=s.get("suppress_unsubscribed_groups", True),
+                population=tuple(
+                    CohortDecl.from_dict(c) for c in s.get("population", ())
+                ),
             )
             for s in payload.get("sessions", ())
         )

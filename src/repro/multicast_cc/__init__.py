@@ -9,11 +9,19 @@
   protocol protected by the Figure 5 DELTA instantiation.
 * :mod:`repro.multicast_cc.session` — session descriptions (rates, groups,
   slots) shared by all protocols.
+* :mod:`repro.multicast_cc.decision` — the pure per-slot subscription rules
+  (scalar and batched) shared by both receiver models.
+* :mod:`repro.multicast_cc.cohort` / :mod:`repro.multicast_cc.receiver_model`
+  — cohort-aggregated receiver populations and the model abstraction the
+  experiment layer composes populations from.
 """
 
+from .cohort import CohortFlidDlReceiver, CohortFlidDsReceiver
+from .decision import DlDecision, decide_dl, decide_dl_batch, reconstruct_ds_batch
 from .flid_dl import FlidDlReceiver, FlidDlSender
 from .flid_ds import FlidDsReceiver, FlidDsSender
 from .receiver_base import LayeredReceiverBase, SlotRecord
+from .receiver_model import IndividualReceiver, ReceiverCohort, ReceiverModel
 from .replicated import ReplicatedReceiver, ReplicatedSender
 from .sender_base import LayeredSenderBase
 from .session import SessionSpec, fair_level_for_rate
@@ -37,10 +45,19 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "CohortFlidDlReceiver",
+    "CohortFlidDsReceiver",
+    "DlDecision",
+    "decide_dl",
+    "decide_dl_batch",
+    "reconstruct_ds_batch",
     "FlidDlReceiver",
     "FlidDlSender",
     "FlidDsReceiver",
     "FlidDsSender",
+    "IndividualReceiver",
+    "ReceiverCohort",
+    "ReceiverModel",
     "IgnoreCongestionFlidDlReceiver",
     "InflatedSubscriptionFlidDlReceiver",
     "InflatedSubscriptionFlidDsReceiver",

@@ -1,0 +1,227 @@
+"""Cohort-aggregated receivers: N homogeneous receivers as one state block.
+
+The paper's robustness and overhead results are *scaling* claims — a few
+attackers against sessions with very large honest audiences.  Instantiating
+every honest receiver as a full object graph (host + IGMP state + FLID
+receiver + SIGMA key table traffic) caps sessions at a few dozen receivers;
+these classes instead represent ``N`` homogeneous honest receivers behind one
+edge router as a single *cohort*:
+
+* one :class:`~repro.simulator.node.Host` (with ``population = N``) carries
+  the whole cohort, so multicast fan-out and the bottleneck dynamics cost
+  O(edge interfaces) — exactly what they cost with one receiver;
+* subscription state lives in a columnar block of ``(count, level)`` rows
+  (array-of-struct tuples), advanced once per slot through the batched pure
+  decision functions of :mod:`~repro.multicast_cc.decision`;
+* SIGMA traffic is amortised: one session-join / subscription message per
+  slot carries ``member_count = N``, the edge router verifies each key once
+  and books the delivery for the population.
+
+**Exactness.**  Aggregation is *exact* — byte-identical subscription
+trajectories and key-delivery counts versus ``N`` individual receivers —
+when the cohort is homogeneous: honest receivers, same edge router, same
+start time, and access links that never drop (true in the paper's §5.1
+topologies, where the 10 Mbps access links exceed the maximal 3.84 Mbps
+session rate and sit downstream of the shared bottleneck).  All per-member divergence sources (attacks, staggered joins,
+per-receiver placement) must stay individual objects, which is precisely the
+paper's threat model: a handful of misbehaving receivers attacking *into* a
+large honest population.  ``tests/experiments/test_cohort_equivalence.py``
+asserts the exactness for small N; ``docs/scale.md`` discusses the limits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from ..core.sigma import SigmaHostInterface
+from ..simulator.node import Host
+from ..simulator.topology import Network
+from .decision import decide_dl_batch, merge_rows, reconstruct_ds_batch
+from .flid_dl import FlidDlReceiver
+from .flid_ds import FlidDsReceiver
+from .receiver_base import SlotRecord
+from .session import SessionSpec
+
+__all__ = ["CohortFlidDlReceiver", "CohortFlidDsReceiver"]
+
+
+def _init_cohort(receiver, host: Host, population: int) -> None:
+    """Shared cohort initialisation: population wiring + columnar state."""
+    if population < 1:
+        raise ValueError("a cohort needs at least one receiver")
+    receiver.population = population
+    # The host stands for the whole cohort: membership counting, IGMP/SIGMA
+    # counters and overhead accounting weight it as N end systems.
+    host.population = population
+    receiver._rows = [(population, 0)]
+
+
+def _require_single_row(rows) -> None:
+    """Enforce the homogeneity invariant before enacting a decision.
+
+    Both cohort receivers drive one shared IGMP/SIGMA interface, which can
+    only represent one membership set; a state block that split into several
+    levels could no longer be enacted faithfully.  Homogeneous cohorts never
+    split (the equivalence tests assert it), so a split here is a bug — fail
+    loudly rather than silently drop the extra rows' membership changes.
+    """
+    if len(rows) != 1:
+        raise RuntimeError(
+            f"cohort state block split into {len(rows)} rows ({rows!r}); "
+            "heterogeneous members must be separate cohorts or individuals"
+        )
+
+
+class CohortFlidDlReceiver(FlidDlReceiver):
+    """FLID-DL receiver aggregating ``population`` honest members.
+
+    Behaviour is the single receiver's (the cohort host receives one copy of
+    every packet an individual receiver would), but each slot's subscription
+    decision runs through the *batched* rule over the cohort's ``(count,
+    level)`` rows, and all membership signalling represents the population.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        spec: SessionSpec,
+        population: int,
+        bin_width_s: float = 1.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            network,
+            host,
+            spec,
+            bin_width_s=bin_width_s,
+            name=name or f"{spec.session_id}-cohort-{host.name}",
+        )
+        _init_cohort(self, host, population)
+
+    # ------------------------------------------------------------------
+    def state_rows(self) -> List[Tuple[int, int]]:
+        """The columnar ``(count, level)`` state block (copy)."""
+        return list(self._rows)
+
+    def _bootstrap(self) -> None:
+        super()._bootstrap()
+        self._rows = [(self.population, self.level)]
+
+    def _apply_decision(self, evaluated_slot: int, record: SlotRecord, congested: bool) -> None:
+        """Advance every row through the batched FLID-DL rule, then enact.
+
+        A homogeneous cohort is a single row, so the shared IGMP interface
+        enacts exactly the membership change each member would have made.
+        """
+        if self.igmp is None:
+            return
+        outcomes = decide_dl_batch(
+            self._rows, congested, record.upgrade_groups, self.spec.group_count
+        )
+        self._rows = merge_rows([(count, d.next_level) for count, d in outcomes])
+        _require_single_row(self._rows)
+        self._enact(evaluated_slot, outcomes[0][1])
+
+
+class CohortFlidDsReceiver(FlidDsReceiver):
+    """FLID-DS receiver aggregating ``population`` honest members.
+
+    DELTA key reconstruction runs once per distinct subscription level of the
+    cohort's state block, and the resulting (group, key) pairs go to the edge
+    router in one subscription message stamped ``member_count = population``
+    — the router verifies each key once and counts a delivery per member, so
+    SIGMA's key-table work is O(edge interfaces) rather than O(receivers).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        spec: SessionSpec,
+        population: int,
+        key_bits: int = 16,
+        bin_width_s: float = 1.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            network,
+            host,
+            spec,
+            key_bits=key_bits,
+            bin_width_s=bin_width_s,
+            name=name or f"{spec.session_id}-cohort-{host.name}",
+        )
+        _init_cohort(self, host, population)
+        #: Population-weighted count of keys *submitted* on behalf of members
+        #: (each submitted pair speaks for every member of the cohort; the
+        #: edge router's ``valid_submissions`` counts the accepted subset).
+        self.member_keys_submitted = 0
+
+    # ------------------------------------------------------------------
+    def state_rows(self) -> List[Tuple[int, int]]:
+        """The columnar ``(count, level)`` state block (copy)."""
+        return list(self._rows)
+
+    def _make_sigma_interface(self) -> SigmaHostInterface:
+        return SigmaHostInterface(
+            self.host,
+            self.spec.session_id,
+            key_bits=self.key_bits,
+            member_count=self.population,
+        )
+
+    def _join_session(self) -> None:
+        super()._join_session()
+        self._rows = [(self.population, 1)]
+
+    # ------------------------------------------------------------------
+    def _apply_decision(self, evaluated_slot: int, record: SlotRecord, congested: bool) -> None:
+        """The scalar FLID-DS slot pipeline, amortised over the cohort rows."""
+        if self.sigma is None:
+            return
+        entitled = self.entitled_level(evaluated_slot)
+        governed_slot = evaluated_slot + 2
+
+        if entitled == 0:
+            self._rejoin(governed_slot)
+            self._rows = [(self.population, 1)]
+            return
+
+        observation = self._build_observation(record, entitled, congested)
+
+        def reconstruct_for(level: int):
+            if level == entitled:
+                return self.delta.reconstruct(observation)
+            return self.delta.reconstruct(
+                dataclasses.replace(observation, subscription_level=level)
+            )
+
+        # The entitlement schedule is shared by the whole (homogeneous)
+        # cohort, so every row observes the same entitled level this slot.
+        rows = merge_rows([(count, entitled) for count, _ in self._rows])
+        _require_single_row(rows)
+        outcomes = reconstruct_ds_batch(rows, reconstruct_for)
+        result = outcomes[0][1]
+        self._on_keys_reconstructed(governed_slot, result.keys)
+
+        if result.keys:
+            pairs = [
+                (self.spec.address_of(group), key)
+                for group, key in result.submitted_pairs()
+            ]
+            self.sigma.subscribe(governed_slot, pairs)
+            self.subscriptions_sent += 1
+            self.member_keys_submitted += self.population * len(pairs)
+
+        if congested and result.next_level < entitled:
+            self._enter_deaf_period(governed_slot + 1)
+
+        self._schedule_level(governed_slot, result.next_level)
+        self._set_level(result.next_level)
+        self._rows = merge_rows([(count, r.next_level) for count, r in outcomes])
+
+        if result.next_level == 0:
+            self._rejoin(governed_slot)
+            self._rows = [(self.population, 1)]

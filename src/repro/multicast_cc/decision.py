@@ -1,0 +1,139 @@
+"""Pure FLID subscription-decision functions, scalar and batched.
+
+The per-slot subscription logic of both protocol variants is a *pure*
+function of what the receiver observed during the slot — no simulator state,
+no I/O.  Historically that logic lived inline in the receiver classes; this
+module extracts it so that the two receiver models share one implementation:
+
+* the per-object receivers (:class:`~repro.multicast_cc.flid_dl.FlidDlReceiver`,
+  :class:`~repro.multicast_cc.flid_ds.FlidDsReceiver`) apply the **scalar**
+  form once per receiver per slot;
+* the aggregated :mod:`~repro.multicast_cc.cohort` receivers apply the
+  **batched** form over a columnar state block of ``(count, level)`` rows,
+  evaluating each *distinct* subscription level once and sharing the outcome
+  across every receiver in the row — per-slot cost O(distinct levels), not
+  O(receivers).
+
+The batched functions are defined to be exactly the scalar function mapped
+over rows (the Hypothesis property tests in
+``tests/multicast_cc/test_decision.py`` assert this), so aggregation can
+never change a trajectory — only amortise its cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.delta.base import ReconstructionResult
+
+__all__ = [
+    "DlDecision",
+    "decide_dl",
+    "decide_dl_batch",
+    "reconstruct_ds_batch",
+    "merge_rows",
+]
+
+#: One columnar row of a cohort state block: ``(receiver count, level)``.
+Row = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DlDecision:
+    """Outcome of the FLID-DL subscription rules for one evaluated slot.
+
+    ``leave_group`` / ``join_group`` name the (1-based) group whose IGMP
+    membership must change; ``deaf_slots`` is how many slots past the
+    evaluated one congestion signals should be ignored (the prune-latency
+    deafness a decrease triggers).
+    """
+
+    next_level: int
+    leave_group: Optional[int] = None
+    join_group: Optional[int] = None
+    deaf_slots: int = 0
+
+
+def decide_dl(
+    level: int,
+    congested: bool,
+    upgrade_authorized: Sequence[int],
+    group_count: int,
+) -> DlDecision:
+    """Apply the three FLID-DL rules to one receiver's slot observation.
+
+    * congested and above the minimal group → drop the top group (and stay
+      deaf through the next slot while the prune takes effect);
+    * loss-free with an authorised upgrade → join the next group;
+    * otherwise → hold.
+    """
+    if congested:
+        if level > 1:
+            return DlDecision(
+                next_level=level - 1, leave_group=level, deaf_slots=1
+            )
+        return DlDecision(next_level=level)
+    upgrade_target = level + 1
+    if upgrade_target <= group_count and upgrade_target in upgrade_authorized:
+        return DlDecision(next_level=upgrade_target, join_group=upgrade_target)
+    return DlDecision(next_level=level)
+
+
+def decide_dl_batch(
+    rows: Sequence[Row],
+    congested: bool,
+    upgrade_authorized: Sequence[int],
+    group_count: int,
+) -> List[Tuple[int, DlDecision]]:
+    """Batched FLID-DL decision over ``(count, level)`` rows.
+
+    Every distinct level is decided once via :func:`decide_dl` and the
+    outcome shared by the row's whole count — equal to, but cheaper than,
+    mapping the scalar function over ``count`` individual receivers.
+    """
+    cache: Dict[int, DlDecision] = {}
+    out: List[Tuple[int, DlDecision]] = []
+    for count, level in rows:
+        decision = cache.get(level)
+        if decision is None:
+            decision = decide_dl(level, congested, upgrade_authorized, group_count)
+            cache[level] = decision
+        out.append((count, decision))
+    return out
+
+
+def reconstruct_ds_batch(
+    rows: Sequence[Row],
+    reconstruct: Callable[[int], ReconstructionResult],
+) -> List[Tuple[int, ReconstructionResult]]:
+    """Batched FLID-DS key reconstruction over ``(count, level)`` rows.
+
+    ``reconstruct(level)`` is the scalar DELTA reconstruction for one
+    receiver entitled to ``level`` (see
+    :meth:`~repro.core.delta.layered.LayeredDeltaReceiver.reconstruct`); it
+    is invoked once per distinct level and its result — keys and next level —
+    is shared across the row, amortising the XOR folds and key submissions
+    over the cohort.
+    """
+    cache: Dict[int, ReconstructionResult] = {}
+    out: List[Tuple[int, ReconstructionResult]] = []
+    for count, level in rows:
+        result = cache.get(level)
+        if result is None:
+            result = reconstruct(level)
+            cache[level] = result
+        out.append((count, result))
+    return out
+
+
+def merge_rows(rows: Sequence[Row]) -> List[Row]:
+    """Coalesce rows that landed on the same level (state block compaction).
+
+    Order follows first appearance of each level, so a homogeneous cohort
+    stays a single row forever.
+    """
+    counts: Dict[int, int] = {}
+    for count, level in rows:
+        counts[level] = counts.get(level, 0) + count
+    return [(count, level) for level, count in counts.items()]

@@ -26,6 +26,7 @@ from typing import Optional
 from ..simulator.igmp import IgmpHostInterface
 from ..simulator.node import Host
 from ..simulator.topology import Network
+from .decision import DlDecision, decide_dl
 from .receiver_base import LayeredReceiverBase, SlotRecord
 from .sender_base import LayeredSenderBase
 from .session import SessionSpec
@@ -64,21 +65,28 @@ class FlidDlReceiver(LayeredReceiverBase):
         self.igmp.join(self.spec.minimal_group())
 
     def _apply_decision(self, evaluated_slot: int, record: SlotRecord, congested: bool) -> None:
-        """Apply the three FLID-DL subscription rules for one evaluated slot."""
+        """Apply the three FLID-DL subscription rules for one evaluated slot.
+
+        The rules themselves are the pure :func:`decide_dl`; this method only
+        enacts the returned decision on the receiver's IGMP interface.
+        """
         if self.igmp is None:
             return
-        if congested:
-            if self.level > 1:
-                self.igmp.leave(self.spec.address_of(self.level))
-                self._set_level(self.level - 1)
+        decision = decide_dl(
+            self.level, congested, record.upgrade_groups, self.spec.group_count
+        )
+        self._enact(evaluated_slot, decision)
+
+    def _enact(self, evaluated_slot: int, decision: DlDecision) -> None:
+        """Turn a pure decision into IGMP membership changes and level state."""
+        if decision.leave_group is not None:
+            self.igmp.leave(self.spec.address_of(decision.leave_group))
+            self._set_level(decision.next_level)
+            if decision.deaf_slots:
                 # The leave takes one IGMP prune latency to relieve the
                 # bottleneck; losses in the next slot belong to this episode.
-                self._enter_deaf_period(evaluated_slot + 1)
+                self._enter_deaf_period(evaluated_slot + decision.deaf_slots)
             return
-        upgrade_target = self.level + 1
-        if (
-            upgrade_target <= self.spec.group_count
-            and upgrade_target in record.upgrade_groups
-        ):
-            self.igmp.join(self.spec.address_of(upgrade_target))
-            self._set_level(upgrade_target)
+        if decision.join_group is not None:
+            self.igmp.join(self.spec.address_of(decision.join_group))
+            self._set_level(decision.next_level)

@@ -136,10 +136,14 @@ class FlidDsReceiver(LayeredReceiverBase):
     # ------------------------------------------------------------------
     def _join_session(self) -> None:
         """SIGMA admission: key-less session-join for the minimal group."""
-        self.sigma = SigmaHostInterface(self.host, self.spec.session_id, key_bits=self.key_bits)
+        self.sigma = self._make_sigma_interface()
         self.sigma.session_join(self.spec.minimal_group())
         current_slot = int(self.sim.now / self.spec.slot_duration_s)
         self._level_schedule[current_slot] = 1
+
+    def _make_sigma_interface(self) -> SigmaHostInterface:
+        """Hook: build the host-side SIGMA stub (cohorts stamp a member count)."""
+        return SigmaHostInterface(self.host, self.spec.session_id, key_bits=self.key_bits)
 
     # ------------------------------------------------------------------
     # level bookkeeping

@@ -66,6 +66,12 @@ class SlotRecord:
 class LayeredReceiverBase(PacketAgent):
     """Receiver-driven layered congestion control (shared FLID logic)."""
 
+    #: Number of actual receivers this object represents.  Per-object
+    #: receivers are exactly one; the :mod:`~repro.multicast_cc.cohort`
+    #: subclasses override it with their aggregated population, and the
+    #: analysis layer weights goodput/protection metrics by it.
+    population: int = 1
+
     def __init__(
         self,
         host: Host,

@@ -52,14 +52,20 @@ class IgmpGroupManager:
 
     # ------------------------------------------------------------------
     def handle_join(self, host: Host, group: GroupAddress) -> None:
-        """Grant a membership report unconditionally."""
-        self.joins_handled += 1
+        """Grant a membership report unconditionally.
+
+        A join from a cohort host stands for the joins of its whole
+        population, so the counter advances by ``host.population`` — the
+        number a matching set of individual hosts would have produced —
+        while the grant itself stays one membership update.
+        """
+        self.joins_handled += getattr(host, "population", 1)
         self.memberships.setdefault(host.name, set()).add(int(group))
         self.multicast.join(host, group)
 
     def handle_leave(self, host: Host, group: GroupAddress) -> None:
-        """Process a leave report."""
-        self.leaves_handled += 1
+        """Process a leave report (population-weighted like joins)."""
+        self.leaves_handled += getattr(host, "population", 1)
         self.memberships.setdefault(host.name, set()).discard(int(group))
         self.multicast.leave(host, group)
 

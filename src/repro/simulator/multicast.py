@@ -78,6 +78,20 @@ class MulticastRoutingService:
         """
         return bool(self._members.get(group.value))
 
+    def member_population(self, group: GroupAddress) -> int:
+        """Receivers currently served by ``group``, cohort-aware.
+
+        Each member host counts as its :attr:`~repro.simulator.node.Host.population`
+        (1 for ordinary hosts, N for a cohort host), so this is the number of
+        *end systems* receiving the group — the quantity the paper's scaling
+        claims are about — while :meth:`members` stays the number of
+        forwarding interfaces.
+        """
+        return sum(
+            getattr(host, "population", 1)
+            for host in self._members.get(int(group), ())
+        )
+
     def is_member(self, host: Host, group: GroupAddress) -> bool:
         """True when ``host`` currently receives ``group``."""
         return host in self._members.get(int(group), set())

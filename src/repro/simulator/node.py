@@ -122,6 +122,11 @@ class Host(Node):
         self.edge_router: Optional["Router"] = None
         #: Control channel to the edge router's group manager.
         self.control: Optional[ControlChannel] = None
+        #: Number of end systems this host stands for.  Ordinary hosts are 1;
+        #: a cohort host aggregates N homogeneous receivers behind one edge
+        #: interface, and membership/overhead accounting weights it as N while
+        #: the forwarding plane still treats it as a single interface.
+        self.population: int = 1
 
     # ------------------------------------------------------------------
     # agent registration

@@ -1,0 +1,118 @@
+"""Property tests: the batched FLID decision functions vs the scalar ones.
+
+The batched functions must be *definitionally* the scalar function mapped
+over ``(count, level)`` rows — same outcome for every row, counts preserved,
+reconstruction invoked at most once per distinct level.  Hypothesis drives
+arbitrary row blocks, congestion flags and upgrade-authorisation sets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delta import LayeredDeltaReceiver
+from repro.core.delta.base import ReceiverSlotObservation
+from repro.multicast_cc.decision import (
+    decide_dl,
+    decide_dl_batch,
+    merge_rows,
+    reconstruct_ds_batch,
+)
+
+GROUP_COUNT = 10
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=10_000), st.integers(min_value=0, max_value=GROUP_COUNT)),
+    min_size=1,
+    max_size=8,
+)
+upgrades_strategy = st.frozensets(st.integers(min_value=1, max_value=GROUP_COUNT + 1), max_size=6)
+
+
+@given(rows=rows_strategy, congested=st.booleans(), upgrades=upgrades_strategy)
+def test_dl_batch_equals_scalar_map(rows, congested, upgrades):
+    """Each batched row outcome equals the scalar decision on its level."""
+    outcomes = decide_dl_batch(rows, congested, upgrades, GROUP_COUNT)
+    assert [count for count, _ in outcomes] == [count for count, _ in rows]
+    for (count, level), (_, decision) in zip(rows, outcomes):
+        assert decision == decide_dl(level, congested, upgrades, GROUP_COUNT)
+
+
+@given(rows=rows_strategy, congested=st.booleans(), upgrades=upgrades_strategy)
+def test_dl_batch_evaluates_each_level_once(rows, congested, upgrades):
+    """The batched form's cost is O(distinct levels), not O(receivers)."""
+    calls = []
+    original = decide_dl
+
+    def counting(level, *args):
+        calls.append(level)
+        return original(level, *args)
+
+    import repro.multicast_cc.decision as decision_module
+
+    decision_module.decide_dl, saved = counting, decision_module.decide_dl
+    try:
+        decide_dl_batch(rows, congested, upgrades, GROUP_COUNT)
+    finally:
+        decision_module.decide_dl = saved
+    assert sorted(set(calls)) == sorted({level for _, level in rows})
+    assert len(calls) == len({level for _, level in rows})
+
+
+@given(rows=rows_strategy)
+def test_merge_rows_preserves_population(rows):
+    """Compaction never loses or invents receivers, and levels stay unique."""
+    merged = merge_rows(rows)
+    assert sum(count for count, _ in merged) == sum(count for count, _ in rows)
+    levels = [level for _, level in merged]
+    assert len(levels) == len(set(levels))
+    for level in set(l for _, l in rows):
+        expected = sum(count for count, l in rows if l == level)
+        assert (expected, level) in merged
+
+
+@st.composite
+def ds_observations(draw):
+    """A synthetic per-slot observation shared by a whole cohort."""
+    components = {
+        g: draw(st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=4))
+        for g in range(1, GROUP_COUNT + 1)
+    }
+    decreases = {
+        g: draw(st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=2))
+        for g in range(2, GROUP_COUNT + 1)
+    }
+    lost = draw(st.frozensets(st.integers(min_value=1, max_value=GROUP_COUNT), max_size=4))
+    upgrades = draw(st.frozensets(st.integers(min_value=1, max_value=GROUP_COUNT), max_size=4))
+    return ReceiverSlotObservation(
+        subscription_level=0,  # overwritten per row below
+        components=components,
+        decrease_fields=decreases,
+        lost_groups=lost,
+        upgrade_authorized=upgrades,
+    )
+
+
+@settings(max_examples=50)
+@given(rows=rows_strategy, observation=ds_observations())
+def test_ds_batch_equals_scalar_map(rows, observation):
+    """Batched DELTA reconstruction equals per-member scalar reconstruction."""
+    import dataclasses
+
+    receiver = LayeredDeltaReceiver(GROUP_COUNT)
+    reconstruct_calls = []
+
+    def reconstruct_for(level):
+        reconstruct_calls.append(level)
+        return receiver.reconstruct(
+            dataclasses.replace(observation, subscription_level=level)
+        )
+
+    outcomes = reconstruct_ds_batch(rows, reconstruct_for)
+    assert [count for count, _ in outcomes] == [count for count, _ in rows]
+    assert len(reconstruct_calls) == len({level for _, level in rows})
+    for (count, level), (_, result) in zip(rows, outcomes):
+        scalar = receiver.reconstruct(
+            dataclasses.replace(observation, subscription_level=level)
+        )
+        assert result.next_level == scalar.next_level
+        assert result.keys == scalar.keys

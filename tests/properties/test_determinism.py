@@ -12,6 +12,7 @@ import pytest
 
 from repro.adversary import AttackSpec
 from repro.experiments import (
+    CohortDecl,
     ExperimentRunner,
     PAPER_DEFAULTS,
     ScenarioSpec,
@@ -36,6 +37,25 @@ def dumbbell_spec() -> ScenarioSpec:
     )
 
 
+def cohort_spec() -> ScenarioSpec:
+    """A cohort-backed audience plus an individual attacker (PR 4 surface)."""
+    return ScenarioSpec(
+        name="determinism-cohort",
+        protected=True,
+        expected_sessions=2,
+        sessions=(
+            SessionDecl(
+                "audience",
+                receivers=0,
+                population=(CohortDecl(400),),
+            ),
+            SessionDecl("rogue", receivers=1, misbehaving=(0,), attack_start_s=2.0),
+        ),
+        duration_s=6.0,
+        config=FAST_CONFIG,
+    )
+
+
 def parking_lot_spec() -> ScenarioSpec:
     return ScenarioSpec(
         name="determinism-parking-lot",
@@ -48,7 +68,7 @@ def parking_lot_spec() -> ScenarioSpec:
     )
 
 
-@pytest.mark.parametrize("make_spec", [dumbbell_spec, parking_lot_spec])
+@pytest.mark.parametrize("make_spec", [dumbbell_spec, cohort_spec, parking_lot_spec])
 def test_identical_spec_and_seed_reproduce_byte_identical_results(make_spec):
     """Two in-process executions of the same spec serialise identically."""
     first = run_spec_json(make_spec().to_json())
@@ -72,6 +92,15 @@ def test_serial_and_parallel_runner_paths_are_byte_identical():
     serial = ExperimentRunner(jobs=1).run_seed_sweep(dumbbell_spec(), seeds)
     parallel = ExperimentRunner(jobs=2).run_seed_sweep(dumbbell_spec(), seeds)
     assert [r.to_json() for r in serial] == [r.to_json() for r in parallel]
+
+
+def test_serial_and_parallel_paths_agree_for_cohort_specs():
+    """Cohort-backed populations survive the worker-process round trip."""
+    seeds = (0, 1)
+    serial = ExperimentRunner(jobs=1).run_seed_sweep(cohort_spec(), seeds)
+    parallel = ExperimentRunner(jobs=2).run_seed_sweep(cohort_spec(), seeds)
+    assert [r.to_json() for r in serial] == [r.to_json() for r in parallel]
+    assert serial[0].metrics["multicast"]["audience"]["population"] == 400
 
 
 def attack_grid_specs():
