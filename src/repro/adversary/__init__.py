@@ -23,7 +23,7 @@ byte-deterministic across processes.
 
 from .context import AttackContext
 from .registry import ADVERSARIES, adversary_names, build_strategies, register_adversary
-from .spec import AttackSpec
+from .spec import COHORT_BATCHED_STRATEGIES, AttackSpec
 from .strategy import AttackStrategy
 from .strategies import (
     ChurnStrategy,
@@ -35,12 +35,14 @@ from .strategies import (
     KeyReplayStrategy,
 )
 from .receivers import AdversarialFlidDlReceiver, AdversarialFlidDsReceiver
+from .cohort import AdversarialCohortFlidDlReceiver, AdversarialCohortFlidDsReceiver
 
 __all__ = [
     "AttackContext",
     "AttackSpec",
     "AttackStrategy",
     "ADVERSARIES",
+    "COHORT_BATCHED_STRATEGIES",
     "adversary_names",
     "build_strategies",
     "register_adversary",
@@ -53,4 +55,6 @@ __all__ = [
     "KeyReplayStrategy",
     "AdversarialFlidDlReceiver",
     "AdversarialFlidDsReceiver",
+    "AdversarialCohortFlidDlReceiver",
+    "AdversarialCohortFlidDsReceiver",
 ]

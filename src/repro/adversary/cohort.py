@@ -1,0 +1,144 @@
+"""Adversarial cohorts: N batched attackers behind one edge interface.
+
+The paper's robustness claim is *population-relative*: however large the
+honest audience grows, a bounded set of misbehaving receivers gains at most
+its grace-window allowance.  Exercising that claim at 100k-receiver scale
+needs the attackers themselves to aggregate, so these classes extend the
+cohort receivers of :mod:`repro.multicast_cc.cohort` with the strategy
+dispatch of :mod:`repro.adversary.receivers`:
+
+* the honest pipeline underneath stays the *batched* cohort one (columnar
+  ``(count, level)`` rows through the pure decision functions);
+* the mounted strategies act once per slot through a capability-scoped
+  :class:`~repro.adversary.context.AttackContext` whose ``member_count``
+  equals the cohort population, so every attack counter, IGMP report weight
+  and SIGMA ``member_count`` stamp books the attack **per member**;
+* only *batch-exact* strategies are allowed
+  (:data:`~repro.adversary.spec.COHORT_BATCHED_STRATEGIES` — currently
+  ``inflated-join``, ``ignore-congestion`` and ``churn``): deterministic
+  state machines whose per-slot action is identical for every member of a
+  homogeneous cohort.  Randomised strategies (key guessing, replay,
+  collusion) draw per-attacker randomness and therefore require individual
+  receivers — see ``docs/threat-model.md`` for the scale-limits table.
+
+``tests/experiments/test_adversarial_cohort_equivalence.py`` asserts the
+contract exactly: a cohort of N attackers produces the same level
+trajectories, per-member goodput and SIGMA/IGMP/attack counters as N
+individual attackers mounting the same spec.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..multicast_cc.cohort import CohortFlidDlReceiver, CohortFlidDsReceiver
+from ..multicast_cc.decision import decide_inflated_join_batch, merge_rows
+from ..multicast_cc.session import SessionSpec
+from ..simulator.node import Host
+from ..simulator.topology import Network
+from .receivers import _AdversaryMixin
+from .spec import COHORT_BATCHED_STRATEGIES
+from .strategy import AttackStrategy
+
+__all__ = [
+    "AdversarialCohortFlidDlReceiver",
+    "AdversarialCohortFlidDsReceiver",
+]
+
+
+class _CohortAdversaryMixin(_AdversaryMixin):
+    """Strategy dispatch over a cohort's batched honest pipeline."""
+
+    def attach_churn(self, process) -> None:
+        """Adversarial cohorts cannot churn (enforced here, not just in specs).
+
+        The attack context's member weight is fixed at admission, so a
+        churned attacker population would book stale counters; declare the
+        churned honest audience and the attacker cohort as separate blocks.
+        """
+        raise ValueError(
+            "adversarial cohorts cannot churn: the attack context's member "
+            "weight is fixed at admission — declare the churned honest "
+            "audience and the attacker population as separate blocks"
+        )
+
+    def _init_adversary(self, strategies: Sequence[AttackStrategy]) -> None:
+        for strategy in strategies:
+            if strategy.name not in COHORT_BATCHED_STRATEGIES:
+                raise ValueError(
+                    f"strategy {strategy.name!r} does not batch exactly over a "
+                    f"cohort; batch-exact strategies: "
+                    f"{sorted(COHORT_BATCHED_STRATEGIES)} (randomised attacks "
+                    "need individual receivers — see docs/threat-model.md)"
+                )
+        super()._init_adversary(strategies)
+
+    def _set_level(self, level: int) -> None:
+        """Keep the columnar state block in lockstep with strategy overrides.
+
+        Strategies may overwrite the subscription level outside the honest
+        decision path (``AttackContext.set_level``); a homogeneous attacker
+        cohort moves as one, so every row is pinned at the clamped level —
+        which is exactly the batched frozen-subscription rule
+        (:func:`~repro.multicast_cc.decision.decide_inflated_join_batch`)
+        mapped over the block.
+        """
+        super()._set_level(level)
+        outcomes = decide_inflated_join_batch(self._rows, self.level)
+        self._rows = merge_rows(
+            [(count, decision.next_level) for count, decision in outcomes]
+        )
+
+
+class AdversarialCohortFlidDlReceiver(_CohortAdversaryMixin, CohortFlidDlReceiver):
+    """FLID-DL cohort of ``population`` attackers mounting one strategy stack."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        spec: SessionSpec,
+        strategies: Sequence[AttackStrategy],
+        population: int,
+        bin_width_s: float = 1.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            network, host, spec, population=population, bin_width_s=bin_width_s, name=name
+        )
+        self._init_adversary(strategies)
+
+
+class AdversarialCohortFlidDsReceiver(_CohortAdversaryMixin, CohortFlidDsReceiver):
+    """FLID-DS cohort of ``population`` attackers mounting one strategy stack.
+
+    The batched DELTA pipeline keeps running (reconstruction once per
+    distinct level, one ``member_count``-stamped subscription message per
+    slot); strategies see the reconstructed keys through the same
+    :meth:`on_keys` hook as on an individual adversarial receiver.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        spec: SessionSpec,
+        strategies: Sequence[AttackStrategy],
+        population: int,
+        key_bits: int = 16,
+        bin_width_s: float = 1.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            network,
+            host,
+            spec,
+            population=population,
+            key_bits=key_bits,
+            bin_width_s=bin_width_s,
+            name=name,
+        )
+        self._init_adversary(strategies)
+
+    def _on_keys_reconstructed(self, governed_slot: int, keys) -> None:
+        self._dispatch_reconstructed_keys(governed_slot, keys)

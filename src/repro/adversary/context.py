@@ -76,6 +76,11 @@ class AttackContext:
         self.spec = receiver.spec
         self.sim = receiver.sim
         self._bare_igmp: Optional[IgmpHostInterface] = None
+        #: Attackers this context speaks for: 1 for an individual adversarial
+        #: receiver, N for an adversarial cohort.  Every attack counter is
+        #: booked per member through this weight, so a cohort of N attackers
+        #: reports exactly what N individual attackers would.
+        self.member_count = getattr(receiver, "population", 1)
         # Attack counters, shared by all strategies on this receiver.
         for key in COUNTER_KEYS:
             setattr(self, key, 0)
@@ -140,8 +145,8 @@ class AttackContext:
         return self._bare_igmp
 
     def igmp_join(self, group: int) -> None:
-        """Send an IGMP membership report for ``group``."""
-        self.igmp_attempts += 1
+        """Send an IGMP membership report for ``group`` (booked per member)."""
+        self.igmp_attempts += self.member_count
         self._igmp().join(self.address_of(group))
 
     def igmp_leave(self, group: int) -> None:

@@ -104,12 +104,24 @@ class _AdversaryMixin:
             if strategy.on_slot(ctx, evaluated_slot, record, effective):
                 suppress = True
         if suppress:
-            ctx.suppressed_slots += 1
+            # One suppressed honest decision per represented attacker, so the
+            # counter reads the same for a cohort as for N individuals.
+            ctx.suppressed_slots += ctx.member_count
         else:
             super()._apply_decision(evaluated_slot, record, effective)
 
         for strategy in active:
             strategy.after_slot(ctx, evaluated_slot, record, effective)
+
+    def _dispatch_reconstructed_keys(self, governed_slot: int, keys: Dict[int, int]) -> None:
+        """Hand the honest pipeline's DELTA keys to every active strategy."""
+        ctx = self._attack_ctx
+        if ctx is None:
+            return
+        now = self.sim.now
+        for strategy in self._strategies:
+            if strategy.started and not strategy.stopped and strategy.active(now):
+                strategy.on_keys(ctx, governed_slot, dict(keys))
 
 
 class AdversarialFlidDlReceiver(_AdversaryMixin, FlidDlReceiver):
@@ -152,10 +164,4 @@ class AdversarialFlidDsReceiver(_AdversaryMixin, FlidDsReceiver):
         self._init_adversary(strategies)
 
     def _on_keys_reconstructed(self, governed_slot: int, keys: Dict[int, int]) -> None:
-        ctx = self._attack_ctx
-        if ctx is None:
-            return
-        now = self.sim.now
-        for strategy in self._strategies:
-            if strategy.started and not strategy.stopped and strategy.active(now):
-                strategy.on_keys(ctx, governed_slot, dict(keys))
+        self._dispatch_reconstructed_keys(governed_slot, keys)

@@ -16,7 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-__all__ = ["AttackSpec"]
+__all__ = ["AttackSpec", "COHORT_BATCHED_STRATEGIES"]
+
+#: Strategies whose per-slot action is a deterministic function of the shared
+#: cohort state — these batch *exactly* over an adversarial cohort (one
+#: aggregated attacker object == N individuals, asserted by the equivalence
+#: tests).  Randomised strategies (key guessing/replay, collusion) draw
+#: per-attacker randomness and must stay individual receivers; the
+#: scale-limits table in ``docs/threat-model.md`` records the split.
+COHORT_BATCHED_STRATEGIES = frozenset({"inflated-join", "ignore-congestion", "churn"})
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple, TYPE_CHECKING
 
+from ..multicast_cc.decision import (
+    attack_target_level,
+    churn_phase,
+    decide_churn,
+    mask_congestion,
+)
 from ..simulator.address import GroupAddress
 from .context import AttackContext
 from .registry import register_adversary
@@ -49,8 +55,7 @@ class InflatedJoinStrategy(AttackStrategy):
     name = "inflated-join"
 
     def _target_level(self, ctx: AttackContext) -> int:
-        target = round(self.intensity * ctx.group_count)
-        return max(1, min(ctx.group_count, target))
+        return attack_target_level(self.intensity, ctx.group_count)
 
     def on_start(self, ctx: AttackContext) -> None:
         target = self._target_level(ctx)
@@ -79,9 +84,7 @@ class IgnoreCongestionStrategy(AttackStrategy):
     def filter_congestion(
         self, ctx: AttackContext, slot: int, record: SlotRecord, congested: bool
     ) -> bool:
-        if self.param("mode", "mask") == "mask":
-            return False
-        return congested
+        return mask_congestion(congested, str(self.param("mode", "mask")))
 
     def on_slot(self, ctx: AttackContext, slot: int, record: SlotRecord, congested: bool) -> bool:
         return self.param("mode", "mask") == "hold" and congested
@@ -110,19 +113,24 @@ class ChurnStrategy(AttackStrategy):
         return max(1e-3, float(self.param("period_s", 4.0)) / self.intensity)
 
     def on_slot(self, ctx: AttackContext, slot: int, record: SlotRecord, congested: bool) -> bool:
-        period = self._period_s()
-        duty = min(1.0, max(0.0, float(self.param("duty", 0.5))))
-        phase_high = ((ctx.now - self.start_s) % period) < duty * period
-        if phase_high and not self._phase_high:
-            for group in range(1, ctx.group_count + 1):
-                ctx.igmp_join(group)
-                self._joined.add(group)
+        phase_high = churn_phase(
+            ctx.now - self.start_s, self._period_s(), float(self.param("duty", 0.5))
+        )
+        action = decide_churn(
+            phase_high,
+            self._phase_high,
+            ctx.entitled_level(slot),
+            ctx.group_count,
+            self._joined,
+        )
+        for group in action.join_groups:
+            ctx.igmp_join(group)
+            self._joined.add(group)
+        if action.session_rejoin:
             ctx.sigma_rejoin()
-        elif not phase_high and self._phase_high:
-            entitled = ctx.entitled_level(slot)
-            for group in sorted(self._joined):
-                if group > entitled:
-                    ctx.igmp_leave(group)
+        for group in action.leave_groups:
+            ctx.igmp_leave(group)
+        if not phase_high and self._phase_high:
             self._joined.clear()
         self._phase_high = phase_high
         return False
@@ -171,7 +179,7 @@ class KeyReplayStrategy(AttackStrategy):
         pairs: List[Tuple[GroupAddress, int]] = []
         for group in ctx.forbidden_groups(governed):
             for key in candidates[:per_group]:
-                ctx.replay_attempts += 1
+                ctx.replay_attempts += ctx.member_count
                 pairs.append((ctx.address_of(group), key))
         ctx.sigma_subscribe(governed, pairs)
 
@@ -196,7 +204,7 @@ class KeyGuessingStrategy(AttackStrategy):
         pairs: List[Tuple[GroupAddress, int]] = []
         for group in ctx.forbidden_groups(governed):
             for _ in range(guesses):
-                ctx.guess_attempts += 1
+                ctx.guess_attempts += ctx.member_count
                 pairs.append((ctx.address_of(group), self.rng.getrandbits(key_bits)))
         ctx.sigma_subscribe(governed, pairs)
 
@@ -251,6 +259,6 @@ class CollusionStrategy(AttackStrategy):
         for group in ctx.forbidden_groups(governed):
             key = pooled.get(group)
             if key is not None:
-                ctx.shared_key_submissions += 1
+                ctx.shared_key_submissions += ctx.member_count
                 pairs.append((ctx.address_of(group), key))
         ctx.sigma_subscribe(governed, pairs)

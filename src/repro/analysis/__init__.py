@@ -7,6 +7,8 @@ from .protection import (
     excess_goodput_kbps,
     honest_baseline_kbps,
     time_to_containment_s,
+    weighted_excess_goodput_kbps,
+    weighted_honest_baseline_kbps,
 )
 from .reporting import (
     aggregate_metrics,
@@ -29,6 +31,8 @@ __all__ = [
     "excess_goodput_kbps",
     "honest_baseline_kbps",
     "time_to_containment_s",
+    "weighted_excess_goodput_kbps",
+    "weighted_honest_baseline_kbps",
     "aggregate_metrics",
     "flatten_metrics",
     "format_aggregate_table",

@@ -20,6 +20,7 @@ __all__ = [
     "honest_baseline_kbps",
     "weighted_honest_baseline_kbps",
     "excess_goodput_kbps",
+    "weighted_excess_goodput_kbps",
     "time_to_containment_s",
     "goodput_containment_s",
     "combined_containment_s",
@@ -64,6 +65,21 @@ def weighted_honest_baseline_kbps(
 def excess_goodput_kbps(attacker_kbps: float, baseline_kbps: float) -> float:
     """Attacker goodput beyond the honest baseline (positive = attack pays)."""
     return attacker_kbps - baseline_kbps
+
+
+def weighted_excess_goodput_kbps(
+    attacker_kbps: float, baseline_kbps: float, population: int
+) -> float:
+    """Population-weighted excess: what the whole attacker cohort extracted.
+
+    An adversarial cohort of ``population`` members whose per-member goodput
+    beats the honest baseline by ``x`` Kbps has pulled ``population * x``
+    Kbps of aggregate bandwidth away from honest receivers — the quantity
+    the paper's containment claim bounds as audiences scale.  With
+    ``population == 1`` this reduces exactly to
+    :func:`excess_goodput_kbps` (``x * 1`` is exact in IEEE arithmetic).
+    """
+    return excess_goodput_kbps(attacker_kbps, baseline_kbps) * population
 
 
 def time_to_containment_s(

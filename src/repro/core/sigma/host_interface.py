@@ -56,13 +56,19 @@ class SigmaHostInterface:
         return manager
 
     # ------------------------------------------------------------------
-    def session_join(self, minimal_group: GroupAddress) -> None:
-        """Request key-less admission to the session's minimal group."""
+    def session_join(self, minimal_group: GroupAddress, members: Optional[int] = None) -> None:
+        """Request key-less admission to the session's minimal group.
+
+        ``members`` overrides the stamped member count for one message — a
+        churned cohort books each arrival wave as a session-join on behalf
+        of exactly the newly arrived members, while its per-slot
+        subscriptions keep speaking for the whole current population.
+        """
         manager = self._manager()
         message = SessionJoinMessage(
             session_id=self.session_id,
             minimal_group=minimal_group,
-            member_count=self.member_count,
+            member_count=self.member_count if members is None else members,
         )
         self.session_joins_sent += 1
         self.host.control.send(

@@ -198,10 +198,28 @@ class SigmaRouterAgent:
 
     # Legacy IGMP entry points: a SIGMA router ignores bare IGMP reports, which
     # is precisely what blocks the Figure 1 attack at protected edges.
-    def handle_join(self, host: Host, group: GroupAddress) -> None:
-        self.igmp_joins_ignored += getattr(host, "population", 1)
+    def handle_join(
+        self,
+        host: Host,
+        group: GroupAddress,
+        members: Optional[int] = None,
+        enact: bool = True,
+    ) -> None:
+        """Ignore a bare IGMP join (``members`` = send-time report weight)."""
+        self.igmp_joins_ignored += (
+            members if members is not None else getattr(host, "population", 1)
+        )
 
-    def handle_leave(self, host: Host, group: GroupAddress) -> None:
+    def handle_leave(
+        self,
+        host: Host,
+        group: GroupAddress,
+        members: Optional[int] = None,
+        enact: bool = True,
+    ) -> None:
+        """Honour a leave; a churn report (``enact=False``) is accounting-only."""
+        if not enact:
+            return
         record = self._access.get((host.name, int(group)))
         if record is not None and record.forwarding:
             self._stop_forwarding(host, record)

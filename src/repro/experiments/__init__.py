@@ -66,19 +66,32 @@ from .figure9 import (
     run_measured_overhead,
     run_slot_duration_sweep,
 )
-from .scale import scale_dumbbell_spec, scale_overhead_spec
+from .scale import (
+    attack_churn_flash_crowd_spec,
+    attack_inflated_100k_spec,
+    run_scale_protection_sweep,
+    scale_dumbbell_spec,
+    scale_overhead_spec,
+    scale_protection_spec,
+)
 from .scenario import MulticastSession, Scenario
+from ..multicast_cc.churn import ChurnProcess
 
 __all__ = [
     "PAPER_DEFAULTS",
     "ExperimentConfig",
     "CbrDecl",
+    "ChurnProcess",
     "CohortDecl",
     "ScenarioSpec",
     "SessionDecl",
     "TcpDecl",
+    "attack_churn_flash_crowd_spec",
+    "attack_inflated_100k_spec",
+    "run_scale_protection_sweep",
     "scale_dumbbell_spec",
     "scale_overhead_spec",
+    "scale_protection_spec",
     "ScenarioEntry",
     "list_scenarios",
     "register_scenario",

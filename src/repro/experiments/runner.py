@@ -31,10 +31,11 @@ from ..analysis.protection import (
     excess_goodput_kbps,
     goodput_containment_s,
     time_to_containment_s,
+    weighted_excess_goodput_kbps,
     weighted_honest_baseline_kbps,
 )
 from .scenario import Scenario
-from .spec import ScenarioSpec
+from .spec import ScenarioSpec, SessionDecl
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -171,6 +172,26 @@ def collect_metrics(scenario: Scenario, spec: ScenarioSpec) -> Dict[str, Any]:
     return metrics
 
 
+def _attacker_object_indices(decl: SessionDecl) -> Dict[int, bool]:
+    """Map attacking receiver-object indices to "came from a population block".
+
+    Object indices align with ``Scenario``'s realised ``session.receivers``:
+    the ``decl.receivers`` individuals first, then each population block —
+    one object for an aggregated cohort, ``count`` objects for a block
+    realised with ``model="individual"``.
+    """
+    attackers: Dict[int, bool] = {index: False for index in decl.attacker_indices()}
+    adversarial = set(decl.adversarial_blocks())
+    offset = decl.receivers
+    for block_index, block in enumerate(decl.population):
+        width = block.count if block.model == "individual" else 1
+        if block_index in adversarial:
+            for object_index in range(offset, offset + width):
+                attackers[object_index] = True
+        offset += width
+    return attackers
+
+
 def collect_protection_metrics(
     scenario: Scenario, spec: ScenarioSpec
 ) -> Optional[Dict[str, Any]]:
@@ -180,7 +201,9 @@ def collect_protection_metrics(
     baseline (mean goodput of every non-attacking multicast receiver over the
     earliest attack window), time to containment derived from the level
     history against the session's fair entitlement, and the adversary's
-    attack counters.
+    attack counters.  Attackers are the individually-targeted receivers plus
+    every adversarial population block; cohort attackers additionally report
+    their ``population`` and the population-weighted excess.
     """
     config = spec.config
     duration = spec.effective_duration_s
@@ -197,19 +220,21 @@ def collect_protection_metrics(
     global_onset = min(session_onsets.values())
 
     # Honest receivers weighted by the population each model stands for:
-    # individuals weigh 1, a cohort weighs its member count.  Attacks only
-    # ever target individual indices, so every population block is honest.
-    honest_rates = [
-        (receiver.average_rate_kbps(global_onset, duration), receiver.population)
-        for decl, session in zip(spec.sessions, scenario.sessions)
-        for index, receiver in enumerate(session.receivers)
-        if index >= decl.receivers or index not in decl.attacker_indices()
-    ]
+    # individuals weigh 1, a cohort weighs its member count.  A population
+    # block is honest unless it carries its own attack declaration.
+    honest_rates = []
+    for decl, session in zip(spec.sessions, scenario.sessions):
+        attacked = _attacker_object_indices(decl)
+        for index, receiver in enumerate(session.receivers):
+            if index not in attacked:
+                honest_rates.append(
+                    (receiver.average_rate_kbps(global_onset, duration), receiver.population)
+                )
     baseline = weighted_honest_baseline_kbps(honest_rates, config.fair_share_bps / 1e3)
 
     sessions: Dict[str, Any] = {}
     for decl, session in zip(spec.sessions, scenario.sessions):
-        attackers = decl.attacker_indices()
+        attackers = _attacker_object_indices(decl)
         onset = session_onsets.get(decl.session_id)
         if not attackers or onset is None:
             continue
@@ -218,7 +243,8 @@ def collect_protection_metrics(
         #: Delivered-rate bound: the honest entitlement's cumulative rate,
         #: with slack for 1-second bin jitter around slot boundaries.
         bound_kbps = 1.25 * session.spec.cumulative_rate_bps(bound_level) / 1e3
-        for index in attackers:
+        for index in sorted(attackers):
+            from_population = attackers[index]
             receiver = session.receivers[index]
             attacker_kbps = receiver.average_rate_kbps(onset, duration)
             level_containment = time_to_containment_s(
@@ -239,6 +265,14 @@ def collect_protection_metrics(
                 ),
                 "bound_level": bound_level,
             }
+            if from_population:
+                # Cohort attackers (and their individual reference
+                # realisation) report the population-weighted view; legacy
+                # individual attackers keep their historical shape.
+                entry["population"] = receiver.population
+                entry["weighted_excess_kbps"] = weighted_excess_goodput_kbps(
+                    attacker_kbps, baseline, receiver.population
+                )
             stats = getattr(receiver, "adversary_stats", None)
             if stats is not None:
                 entry["counters"] = stats()

@@ -4,10 +4,10 @@ The paper's claims are scaling claims — SIGMA's bound on inflated
 subscription damage holds for *any* honest audience size, and the §5.4
 overhead model is independent of the receiver count because keys travel once
 per edge router, not once per receiver.  The historical scenarios exercise
-tens of receivers; the two scenarios here push the population axis three
-orders of magnitude further by realising the honest audience as a
-:class:`~repro.experiments.spec.CohortDecl` (one aggregated receiver per
-edge interface; see ``docs/scale.md``):
+tens of receivers; the scenarios here push the population axis three orders
+of magnitude further by realising populations as
+:class:`~repro.experiments.spec.CohortDecl` blocks (one aggregated receiver
+per edge interface; see ``docs/scale.md``):
 
 * ``scale-dumbbell-10k`` — the Figure 1/7 inflated-subscription duel with a
   10,000-receiver honest audience behind the bottleneck: one individual
@@ -17,8 +17,21 @@ edge interface; see ``docs/scale.md``):
   a 100,000-receiver audience: DELTA/SIGMA overhead on the wire must stay at
   its per-session value however large the audience grows (the overhead
   model's group-count axis, extended along the population dimension).
+* ``attack-inflated-100k`` — the robustness claim at full scale: an
+  **adversarial cohort** of inflated-join attackers against a
+  100,000-receiver honest audience, both aggregated, protection metrics
+  population-weighted (completes in seconds on one CPU; the acceptance
+  budget is 60 s wall).
+* ``attack-churn-flash-crowd`` — audience dynamics: a churn-attack receiver
+  probing the grace windows while the honest cohort's population jumps
+  100 → 100,000 mid-session through a
+  :class:`~repro.multicast_cc.churn.ChurnProcess` burst.
+* ``scale-protection`` — one point of the audience × attacker-fraction
+  protection grid; :func:`run_scale_protection_sweep` fans the full grid
+  through the parallel :class:`~repro.experiments.runner.ExperimentRunner`
+  (see ``examples/attack_at_scale.py``).
 
-Both builders accept ``model="individual"`` to realise the same spec with
+Builders accept ``model="individual"`` to realise the same spec with
 per-object receivers — the reference the equivalence tests and the
 ``benchmarks/bench_scale_cohort.py`` speedup assertion compare against
 (at small counts; per-object 100k receivers would not fit in memory).
@@ -26,13 +39,23 @@ per-object receivers — the reference the equivalence tests and the
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
+from ..adversary.spec import AttackSpec
+from ..multicast_cc.churn import ChurnProcess
 from .config import PAPER_DEFAULTS, ExperimentConfig
 from .registry import register_scenario
+from .runner import ExperimentRunner, RunResult
 from .spec import CohortDecl, ScenarioSpec, SessionDecl
 
-__all__ = ["scale_dumbbell_spec", "scale_overhead_spec"]
+__all__ = [
+    "scale_dumbbell_spec",
+    "scale_overhead_spec",
+    "attack_inflated_100k_spec",
+    "attack_churn_flash_crowd_spec",
+    "scale_protection_spec",
+    "run_scale_protection_sweep",
+]
 
 
 def scale_dumbbell_spec(
@@ -120,3 +143,201 @@ register_scenario(
     "Figure 9 overhead cross-check with a 100,000-receiver cohort audience: "
     "protection overhead is independent of the population size",
 )(scale_overhead_spec)
+
+
+def attack_inflated_100k_spec(
+    receivers: int = 100_000,
+    attackers: int = 100,
+    protected: bool = True,
+    attack_start_s: float = 10.0,
+    intensity: float = 1.0,
+    duration_s: Optional[float] = 30.0,
+    model: str = "cohort",
+    config: ExperimentConfig = PAPER_DEFAULTS,
+) -> ScenarioSpec:
+    """The paper's robustness claim at full scale: cohorts on both sides.
+
+    Two sessions share a fair-share-sized dumbbell bottleneck: an
+    ``audience`` session whose honest population is one cohort of
+    ``receivers`` members, and an ``attackers`` session realised as an
+    *adversarial cohort* — ``attackers`` members all mounting the
+    inflated-join strategy from ``attack_start_s``.  SIGMA must contain the
+    whole attacker population (weighted excess goodput near zero); the
+    unprotected variant (``protected=False``) shows the aggregate damage an
+    IGMP edge would concede.
+    """
+    return ScenarioSpec(
+        name="attack-inflated-100k",
+        protected=protected,
+        expected_sessions=2,
+        sessions=(
+            SessionDecl(
+                "audience",
+                receivers=0,
+                population=(CohortDecl(receivers, model=model),),
+            ),
+            SessionDecl(
+                "attackers",
+                receivers=0,
+                population=(
+                    CohortDecl(
+                        attackers,
+                        model=model,
+                        attack=AttackSpec(
+                            "inflated-join",
+                            start_s=attack_start_s,
+                            intensity=intensity,
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        duration_s=duration_s,
+        config=config,
+    )
+
+
+register_scenario(
+    "attack-inflated-100k",
+    "Inflated-join attacker cohort against a 100,000-receiver honest cohort: "
+    "the containment claim at full scale, protection metrics "
+    "population-weighted",
+)(attack_inflated_100k_spec)
+
+
+def attack_churn_flash_crowd_spec(
+    initial: int = 100,
+    surge: int = 99_900,
+    surge_at_s: float = 12.0,
+    attack_start_s: float = 6.0,
+    protected: bool = True,
+    duration_s: Optional[float] = 30.0,
+    config: ExperimentConfig = PAPER_DEFAULTS,
+) -> ScenarioSpec:
+    """Flash-crowd churn under attack: the audience surges 100 → 100k.
+
+    A churn-attack receiver flaps its membership (probing the §3.2.2 grace
+    windows) while the honest cohort's population jumps by ``surge`` members
+    at ``surge_at_s`` — the flash-crowd case the cohort churn process
+    models.  Protection must hold through the surge, and the
+    population-weighted IGMP/SIGMA counters must track the instantaneous
+    membership.
+    """
+    return ScenarioSpec(
+        name="attack-churn-flash-crowd",
+        protected=protected,
+        expected_sessions=2,
+        sessions=(
+            SessionDecl(
+                "crowd",
+                receivers=0,
+                population=(
+                    CohortDecl(
+                        initial,
+                        churn=ChurnProcess(burst=((surge_at_s, surge),)),
+                    ),
+                ),
+            ),
+            SessionDecl(
+                "attacker",
+                receivers=1,
+                attacks=(AttackSpec("churn", start_s=attack_start_s),),
+            ),
+        ),
+        duration_s=duration_s,
+        config=config,
+    )
+
+
+register_scenario(
+    "attack-churn-flash-crowd",
+    "Churn attacker probing the grace windows while the honest audience "
+    "flash-crowds from 100 to 100,000 members mid-session",
+)(attack_churn_flash_crowd_spec)
+
+
+def scale_protection_spec(
+    audience: int = 10_000,
+    attacker_fraction: float = 0.01,
+    protected: bool = True,
+    attack_start_s: float = 10.0,
+    duration_s: Optional[float] = 30.0,
+    model: str = "cohort",
+    config: ExperimentConfig = PAPER_DEFAULTS,
+) -> ScenarioSpec:
+    """One point of the audience × attacker-fraction protection grid.
+
+    ``attacker_fraction`` of the audience misbehaves (at least one member),
+    as an adversarial inflated-join cohort against the honest remainder —
+    the axis along which the paper's containment claim must stay flat.
+    """
+    if not 0.0 < attacker_fraction < 1.0:
+        raise ValueError("attacker_fraction must be in (0, 1)")
+    attackers = max(1, round(audience * attacker_fraction))
+    honest = max(1, audience - attackers)
+    return ScenarioSpec(
+        name="scale-protection",
+        protected=protected,
+        expected_sessions=2,
+        sessions=(
+            SessionDecl(
+                "audience",
+                receivers=0,
+                population=(CohortDecl(honest, model=model),),
+            ),
+            SessionDecl(
+                "attackers",
+                receivers=0,
+                population=(
+                    CohortDecl(
+                        attackers,
+                        model=model,
+                        attack=AttackSpec("inflated-join", start_s=attack_start_s),
+                    ),
+                ),
+            ),
+        ),
+        duration_s=duration_s,
+        config=config,
+    )
+
+
+register_scenario(
+    "scale-protection",
+    "One audience × attacker-fraction grid point: an inflated-join attacker "
+    "cohort sized as a fraction of the honest audience "
+    "(run_scale_protection_sweep fans the full grid)",
+)(scale_protection_spec)
+
+
+def run_scale_protection_sweep(
+    audiences: Sequence[int] = (1_000, 10_000, 100_000),
+    attacker_fractions: Sequence[float] = (0.001, 0.01, 0.1),
+    jobs: int = 1,
+    seeds: Sequence[int] = (0,),
+    duration_s: float = 30.0,
+    attack_start_s: float = 10.0,
+    protected: bool = True,
+    config: ExperimentConfig = PAPER_DEFAULTS,
+) -> List[RunResult]:
+    """Fan the audience × attacker-fraction grid through the runner.
+
+    Returns one :class:`~repro.experiments.runner.RunResult` per (audience,
+    fraction, seed), in grid order — each carrying the population-weighted
+    ``protection`` block.  ``examples/attack_at_scale.py`` renders the grid
+    as a containment table.
+    """
+    specs = [
+        scale_protection_spec(
+            audience=audience,
+            attacker_fraction=fraction,
+            protected=protected,
+            attack_start_s=attack_start_s,
+            duration_s=duration_s,
+            config=config,
+        ).with_seed(seed)
+        for audience in audiences
+        for fraction in attacker_fractions
+        for seed in seeds
+    ]
+    return ExperimentRunner(jobs=jobs).run(specs)

@@ -28,12 +28,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..adversary.cohort import (
+    AdversarialCohortFlidDlReceiver,
+    AdversarialCohortFlidDsReceiver,
+)
 from ..adversary.receivers import AdversarialFlidDlReceiver, AdversarialFlidDsReceiver
 from ..adversary.registry import build_strategies
 from ..adversary.spec import AttackSpec
 from ..core.sigma import SigmaConfig, SigmaRouterAgent
 from ..core.timeslot import SlotClock
 from ..multicast_cc import (
+    AdversarialCohort,
     CohortFlidDlReceiver,
     CohortFlidDsReceiver,
     FlidDlReceiver,
@@ -92,12 +97,21 @@ class MulticastSession:
         """End systems served by the session across all receiver models."""
         return sum(model.population for model in self.models)
 
-    def _adopt(self, receiver: LayeredReceiverBase, cohort: bool = False) -> None:
+    def _adopt(
+        self,
+        receiver: LayeredReceiverBase,
+        cohort: bool = False,
+        adversarial: bool = False,
+    ) -> None:
         """Register a built receiver object under the matching model."""
         self.receivers.append(receiver)
-        self.models.append(
-            ReceiverCohort(receiver) if cohort else IndividualReceiver(receiver)
-        )
+        if cohort:
+            model: ReceiverModel = (
+                AdversarialCohort(receiver) if adversarial else ReceiverCohort(receiver)
+            )
+        else:
+            model = IndividualReceiver(receiver)
+        self.models.append(model)
 
 
 class Scenario:
@@ -325,7 +339,15 @@ class Scenario:
         c_index: int,
         cohort: CohortDecl,
     ) -> None:
-        """Realise one population block as a cohort or as individuals."""
+        """Realise one population block as a cohort or as individuals.
+
+        A block carrying an :class:`~repro.adversary.spec.AttackSpec`
+        realises as an adversarial cohort (every member mounts the declared
+        batch-exact strategy); with ``model="individual"`` the same attack
+        is mounted by each per-object member — the reference realisation
+        the adversarial-cohort equivalence tests compare against.
+        """
+        attacks = (cohort.attack,) if cohort.attack is not None else ()
         if cohort.model == "individual":
             # Reference realisation: the same population as per-object
             # receivers (what the equivalence tests and the scale benchmark
@@ -335,7 +357,7 @@ class Scenario:
                     f"{session_id}-pop{c_index + 1}-rx{member + 1}",
                     router=cohort.router,
                 )
-                receiver = self._make_receiver(spec, host, ())
+                receiver = self._make_receiver(spec, host, attacks)
                 session._adopt(receiver)
                 receiver.start(cohort.start_s)
             return
@@ -343,7 +365,22 @@ class Scenario:
             f"{session_id}-cohort{c_index + 1}", router=cohort.router
         )
         receiver: LayeredReceiverBase
-        if self.protected:
+        if attacks:
+            strategies = build_strategies(attacks, self.network, spec, host.name)
+            if self.protected:
+                receiver = AdversarialCohortFlidDsReceiver(
+                    self.network,
+                    host,
+                    spec,
+                    strategies,
+                    population=cohort.count,
+                    key_bits=self.config.key_bits,
+                )
+            else:
+                receiver = AdversarialCohortFlidDlReceiver(
+                    self.network, host, spec, strategies, population=cohort.count
+                )
+        elif self.protected:
             receiver = CohortFlidDsReceiver(
                 self.network,
                 host,
@@ -355,7 +392,9 @@ class Scenario:
             receiver = CohortFlidDlReceiver(
                 self.network, host, spec, population=cohort.count
             )
-        session._adopt(receiver, cohort=True)
+        if cohort.churn is not None:
+            receiver.attach_churn(cohort.churn)
+        session._adopt(receiver, cohort=True, adversarial=bool(attacks))
         receiver.start(cohort.start_s)
 
     def _attacks_per_receiver(

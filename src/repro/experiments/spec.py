@@ -25,7 +25,8 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from ..adversary.spec import AttackSpec
+from ..adversary.spec import COHORT_BATCHED_STRATEGIES, AttackSpec
+from ..multicast_cc.churn import ChurnProcess
 from .config import PAPER_DEFAULTS, ExperimentConfig
 
 __all__ = ["CohortDecl", "SessionDecl", "TcpDecl", "CbrDecl", "ScenarioSpec"]
@@ -46,7 +47,16 @@ class CohortDecl:
 
     ``router`` optionally pins the cohort to a named edge router (default:
     the topology's round-robin receiver placement); ``start_s`` is the
-    members' shared join time.  Heterogeneity — attacks, staggered joins —
+    members' shared join time.
+
+    ``attack`` makes the block an **adversarial cohort**: every member
+    mounts the declared strategy (batch-exact strategies only —
+    :data:`~repro.adversary.spec.COHORT_BATCHED_STRATEGIES`; the attack's
+    ``receivers`` indices are ignored, the block itself is the target).
+    ``churn`` drives the member count by a deterministic
+    :class:`~repro.multicast_cc.churn.ChurnProcess` (flash crowds, gradual
+    arrival/departure); churn requires the aggregated ``"cohort"`` model.
+    Any *other* heterogeneity — staggered joins, randomised attacks —
     belongs in individual receivers or in *separate* cohorts, never inside
     one cohort (see ``docs/scale.md`` for when aggregation is exact).
     """
@@ -55,21 +65,47 @@ class CohortDecl:
     router: Optional[str] = None
     start_s: float = 0.0
     model: str = "cohort"
+    attack: Optional[AttackSpec] = None
+    churn: Optional[ChurnProcess] = None
 
     def __post_init__(self) -> None:
         if self.count < 1:
             raise ValueError("a cohort needs at least one receiver")
         if self.model not in ("cohort", "individual"):
             raise ValueError(f"unknown receiver model {self.model!r}")
+        if self.attack is not None and self.attack.strategy not in COHORT_BATCHED_STRATEGIES:
+            raise ValueError(
+                f"strategy {self.attack.strategy!r} does not batch exactly over "
+                f"a cohort (batch-exact: {sorted(COHORT_BATCHED_STRATEGIES)}); "
+                "declare individual receivers for randomised attacks"
+            )
+        if self.churn is not None and self.model != "cohort":
+            raise ValueError(
+                "population churn needs the aggregated cohort model "
+                "(individual receivers cannot arrive or depart dynamically)"
+            )
+        if self.churn is not None and self.attack is not None:
+            # A churned attacker population would book attack counters with
+            # a stale member count (the attack context weight is fixed at
+            # admission); churn composes with attacks from *outside* the
+            # cohort instead — see docs/scale.md.
+            raise ValueError(
+                "a cohort cannot both churn and attack; declare the churned "
+                "honest audience and the attacker population as separate blocks"
+            )
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "CohortDecl":
         """Rebuild a cohort declaration from its plain-data form."""
+        attack = payload.get("attack")
+        churn = payload.get("churn")
         return cls(
             count=payload["count"],
             router=payload.get("router"),
             start_s=payload.get("start_s", 0.0),
             model=payload.get("model", "cohort"),
+            attack=AttackSpec.from_dict(attack) if attack is not None else None,
+            churn=ChurnProcess.from_dict(churn) if churn is not None else None,
         )
 
 
@@ -88,11 +124,12 @@ class SessionDecl:
     router of the topology; ``None`` entries (or omitting the field) fall
     back to the topology's round-robin receiver placement.
 
-    ``population`` appends :class:`CohortDecl` blocks of homogeneous honest
-    receivers *after* the ``receivers`` individual ones.  Attacks can only
-    target individual receiver indices (``0 .. receivers-1``) — adversaries
-    stay per-object receivers attacking into the aggregated audience, which
-    is the paper's threat model (few attackers, many honest receivers).  A
+    ``population`` appends :class:`CohortDecl` blocks *after* the
+    ``receivers`` individual ones.  ``attacks`` entries can only target
+    individual receiver indices (``0 .. receivers-1``); a population block
+    becomes adversarial by carrying its own :class:`CohortDecl.attack`
+    (batch-exact strategies only), which is the paper's threat model taken
+    to scale — bounded attacker cohorts against large honest audiences.  A
     session declaring a population may set ``receivers=0``.
     """
 
@@ -133,17 +170,28 @@ class SessionDecl:
 
     # ------------------------------------------------------------------
     def attacker_indices(self) -> Tuple[int, ...]:
-        """Sorted receiver indices mounting any attack (legacy or declared)."""
+        """Sorted *individual* receiver indices mounting any attack."""
         indices = set(self.misbehaving)
         for attack in self.attacks:
             indices.update(attack.receivers)
         return tuple(sorted(indices))
+
+    def adversarial_blocks(self) -> Tuple[int, ...]:
+        """Indices (into ``population``) of blocks that carry an attack."""
+        return tuple(
+            index for index, block in enumerate(self.population)
+            if block.attack is not None
+        )
 
     def attack_onset_s(self) -> Optional[float]:
         """Earliest scheduled attack start, or ``None`` without attackers."""
         onsets = [attack.start_s for attack in self.attacks]
         if self.misbehaving:
             onsets.append(self.attack_start_s)
+        onsets.extend(
+            block.attack.start_s for block in self.population
+            if block.attack is not None
+        )
         return min(onsets) if onsets else None
 
     def total_population(self) -> int:
@@ -228,15 +276,23 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data form: nested dataclasses become dicts, tuples lists.
 
-        A session's ``population`` key is omitted when empty so that the
-        canonical JSON — and therefore every golden digest and cache key of
-        a pre-population spec — is byte-identical to what it always was.
+        A session's ``population`` key is omitted when empty — and a cohort
+        block's ``attack``/``churn`` keys are omitted when unset — so that
+        the canonical JSON (and therefore every golden digest and cache key)
+        of a spec predating each field is byte-identical to what it always
+        was.
         """
         payload = asdict(self)
         payload["topology_params"] = dict(self.topology_params)
         for session in payload["sessions"]:
             if not session.get("population"):
                 session.pop("population", None)
+                continue
+            for block in session["population"]:
+                if block.get("attack") is None:
+                    block.pop("attack", None)
+                if block.get("churn") is None:
+                    block.pop("churn", None)
         return payload
 
     def to_json(self) -> str:

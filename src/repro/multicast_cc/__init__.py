@@ -16,12 +16,31 @@
   experiment layer composes populations from.
 """
 
+from .churn import ChurnProcess
 from .cohort import CohortFlidDlReceiver, CohortFlidDsReceiver
-from .decision import DlDecision, decide_dl, decide_dl_batch, reconstruct_ds_batch
+from .decision import (
+    ChurnAction,
+    DlDecision,
+    attack_target_level,
+    churn_phase,
+    decide_churn,
+    decide_churn_batch,
+    decide_dl,
+    decide_dl_batch,
+    decide_inflated_join,
+    decide_inflated_join_batch,
+    mask_congestion,
+    reconstruct_ds_batch,
+)
 from .flid_dl import FlidDlReceiver, FlidDlSender
 from .flid_ds import FlidDsReceiver, FlidDsSender
 from .receiver_base import LayeredReceiverBase, SlotRecord
-from .receiver_model import IndividualReceiver, ReceiverCohort, ReceiverModel
+from .receiver_model import (
+    AdversarialCohort,
+    IndividualReceiver,
+    ReceiverCohort,
+    ReceiverModel,
+)
 from .replicated import ReplicatedReceiver, ReplicatedSender
 from .sender_base import LayeredSenderBase
 from .session import SessionSpec, fair_level_for_rate
@@ -45,16 +64,26 @@ def __getattr__(name: str):
 
 
 __all__ = [
+    "ChurnProcess",
     "CohortFlidDlReceiver",
     "CohortFlidDsReceiver",
+    "ChurnAction",
     "DlDecision",
+    "attack_target_level",
+    "churn_phase",
+    "decide_churn",
+    "decide_churn_batch",
     "decide_dl",
     "decide_dl_batch",
+    "decide_inflated_join",
+    "decide_inflated_join_batch",
+    "mask_congestion",
     "reconstruct_ds_batch",
     "FlidDlReceiver",
     "FlidDlSender",
     "FlidDsReceiver",
     "FlidDsSender",
+    "AdversarialCohort",
     "IndividualReceiver",
     "ReceiverCohort",
     "ReceiverModel",

@@ -32,11 +32,12 @@ asserts the exactness for small N; ``docs/scale.md`` discusses the limits.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.sigma import SigmaHostInterface
 from ..simulator.node import Host
 from ..simulator.topology import Network
+from .churn import ChurnProcess
 from .decision import decide_dl_batch, merge_rows, reconstruct_ds_batch
 from .flid_dl import FlidDlReceiver
 from .flid_ds import FlidDsReceiver
@@ -73,7 +74,61 @@ def _require_single_row(rows) -> None:
         )
 
 
-class CohortFlidDlReceiver(FlidDlReceiver):
+class _CohortChurnSupport:
+    """Population churn shared by both cohort receivers.
+
+    A :class:`~repro.multicast_cc.churn.ChurnProcess` attached to a cohort is
+    sampled at every slot-evaluation wakeup (deterministically, before the
+    due slots are evaluated): the membership delta is booked through
+    member-weighted IGMP/SIGMA messages and the cohort's population —
+    including the host weight every counter derives from — is updated before
+    any message of the new slot is sent.  Arrivals adopt the cohort's
+    current subscription level (flash-crowd members inherit the steady-state
+    trajectory); see ``docs/scale.md`` for the exactness conditions.
+    """
+
+    _churn: Optional[ChurnProcess] = None
+    _churn_initial: int = 0
+
+    def attach_churn(self, process: ChurnProcess) -> None:
+        """Drive this cohort's population by ``process`` (call before start)."""
+        self._churn = process
+        self._churn_initial = self.population
+
+    # ------------------------------------------------------------------
+    def _on_timer(self) -> None:
+        if self._churn is not None and self._started_at is not None:
+            self._apply_churn()
+        super()._on_timer()
+
+    def _apply_churn(self) -> None:
+        target = self._churn.population_at(
+            self._churn_initial, self.sim.now - self._started_at
+        )
+        delta = target - self.population
+        if delta == 0:
+            return
+        if delta > 0:
+            self._book_arrivals(delta)
+        else:
+            self._book_departures(-delta)
+        self._set_population(target)
+
+    def _set_population(self, population: int) -> None:
+        """Adopt the new population everywhere counters weigh it."""
+        self.population = population
+        self.host.population = population
+        self._rows = [(population, level) for _count, level in self._rows]
+
+    # hooks implemented per protocol variant -----------------------------
+    def _book_arrivals(self, members: int) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _book_departures(self, members: int) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class CohortFlidDlReceiver(_CohortChurnSupport, FlidDlReceiver):
     """FLID-DL receiver aggregating ``population`` honest members.
 
     Behaviour is the single receiver's (the cohort host receives one copy of
@@ -109,6 +164,23 @@ class CohortFlidDlReceiver(FlidDlReceiver):
         super()._bootstrap()
         self._rows = [(self.population, self.level)]
 
+    # ------------------------------------------------------------------
+    # churn accounting (unprotected variant: weighted IGMP churn reports)
+    # ------------------------------------------------------------------
+    def _book_arrivals(self, members: int) -> None:
+        """Arrivals adopt the current level: one weighted join per group."""
+        if self.igmp is None:
+            return
+        for group in range(1, self.level + 1):
+            self.igmp.join(self.spec.address_of(group), members=members)
+
+    def _book_departures(self, members: int) -> None:
+        """Departures abandon the current level: one weighted leave per group."""
+        if self.igmp is None:
+            return
+        for group in range(1, self.level + 1):
+            self.igmp.leave(self.spec.address_of(group), members=members)
+
     def _apply_decision(self, evaluated_slot: int, record: SlotRecord, congested: bool) -> None:
         """Advance every row through the batched FLID-DL rule, then enact.
 
@@ -125,7 +197,7 @@ class CohortFlidDlReceiver(FlidDlReceiver):
         self._enact(evaluated_slot, outcomes[0][1])
 
 
-class CohortFlidDsReceiver(FlidDsReceiver):
+class CohortFlidDsReceiver(_CohortChurnSupport, FlidDsReceiver):
     """FLID-DS receiver aggregating ``population`` honest members.
 
     DELTA key reconstruction runs once per distinct subscription level of the
@@ -175,6 +247,26 @@ class CohortFlidDsReceiver(FlidDsReceiver):
     def _join_session(self) -> None:
         super()._join_session()
         self._rows = [(self.population, 1)]
+
+    # ------------------------------------------------------------------
+    # churn accounting (protected variant: member-weighted SIGMA messages)
+    # ------------------------------------------------------------------
+    def _set_population(self, population: int) -> None:
+        super()._set_population(population)
+        if self.sigma is not None:
+            # Every subsequent SIGMA message speaks for the new population.
+            self.sigma.member_count = population
+
+    def _book_arrivals(self, members: int) -> None:
+        """Each arrival wave is one key-less session-join for its members."""
+        if self.sigma is None:
+            return
+        self.sigma.session_join(self.spec.minimal_group(), members=members)
+
+    def _book_departures(self, members: int) -> None:
+        """Departures are silent under SIGMA — exactly like an individual
+        receiver that stops submitting keys: they vanish from the member
+        counts of subsequent messages instead of sending a farewell."""
 
     # ------------------------------------------------------------------
     def _apply_decision(self, evaluated_slot: int, record: SlotRecord, congested: bool) -> None:

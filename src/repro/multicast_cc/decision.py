@@ -23,16 +23,24 @@ never change a trajectory — only amortise its cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.delta.base import ReconstructionResult
 
 __all__ = [
     "DlDecision",
+    "ChurnAction",
     "decide_dl",
     "decide_dl_batch",
     "reconstruct_ds_batch",
     "merge_rows",
+    "attack_target_level",
+    "decide_inflated_join",
+    "decide_inflated_join_batch",
+    "mask_congestion",
+    "churn_phase",
+    "decide_churn",
+    "decide_churn_batch",
 ]
 
 #: One columnar row of a cohort state block: ``(receiver count, level)``.
@@ -124,6 +132,146 @@ def reconstruct_ds_batch(
             result = reconstruct(level)
             cache[level] = result
         out.append((count, result))
+    return out
+
+
+# ----------------------------------------------------------------------
+# attack decisions (pure forms of the batch-exact adversary strategies)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChurnAction:
+    """Membership changes one churn-attack phase transition demands.
+
+    ``join_groups`` / ``leave_groups`` list the (1-based) groups whose IGMP
+    membership must change, in submission order; ``session_rejoin`` asks for
+    a key-less SIGMA session-join (the grace-window vector of §3.2.2).
+    """
+
+    join_groups: Tuple[int, ...] = ()
+    leave_groups: Tuple[int, ...] = ()
+    session_rejoin: bool = False
+
+
+def attack_target_level(intensity: float, group_count: int) -> int:
+    """The subscription level an inflated-join attacker aims for.
+
+    ``intensity`` scales against the session's group count (1.0 = everything)
+    and the result is clamped into the valid ``1 .. group_count`` range.
+    """
+    target = round(intensity * group_count)
+    return max(1, min(group_count, target))
+
+
+def decide_inflated_join(level: int, target_level: int) -> DlDecision:
+    """The frozen-subscription rule of the inflated-join attack (§2.1).
+
+    Whatever the congestion state, the attacker pins its subscription at the
+    inflated target — it never decreases and never needs an authorisation to
+    sit at ``target_level``.  Pure counterpart of
+    :class:`~repro.adversary.strategies.InflatedJoinStrategy`'s suppression.
+    """
+    return DlDecision(next_level=target_level)
+
+
+def decide_inflated_join_batch(
+    rows: Sequence[Row], target_level: int
+) -> List[Tuple[int, DlDecision]]:
+    """Batched inflated-join decision over ``(count, level)`` rows.
+
+    Defined as :func:`decide_inflated_join` mapped over rows (evaluated once
+    per distinct level), so an adversarial cohort of N attackers pins its
+    state block exactly as N individual attackers would.
+    """
+    return _batch_rows(rows, lambda level: decide_inflated_join(level, target_level))
+
+
+def mask_congestion(congested: bool, mode: str = "mask") -> bool:
+    """The congestion verdict an ignore-congestion attacker lets through.
+
+    ``mode="mask"`` rewrites every verdict to "no congestion" (the attacker's
+    honest pipeline then acts on a lie); any other mode passes the verdict
+    unchanged (the *hold* variant suppresses the decision instead).
+    """
+    if mode == "mask":
+        return False
+    return congested
+
+
+def churn_phase(elapsed_s: float, period_s: float, duty: float) -> bool:
+    """True while a churn attacker's flapping cycle is in its *high* phase.
+
+    ``elapsed_s`` is time since attack onset; the cycle spends ``duty``
+    (clamped to [0, 1]) of every ``period_s`` (floored to one millisecond)
+    in the high phase.
+    """
+    period_s = max(1e-3, period_s)
+    duty = min(1.0, max(0.0, duty))
+    return (elapsed_s % period_s) < duty * period_s
+
+
+def decide_churn(
+    phase_high: bool,
+    was_high: bool,
+    entitled_level: int,
+    group_count: int,
+    joined: Sequence[int] = (),
+) -> ChurnAction:
+    """Membership changes for one churn-attack phase evaluation (§3.2.2).
+
+    A rising edge joins every group and re-runs the key-less session-join; a
+    falling edge abandons the previously joined groups above the attacker's
+    legitimate entitlement (sorted, as the strategy submits them); inside a
+    phase nothing changes.
+    """
+    if phase_high and not was_high:
+        return ChurnAction(
+            join_groups=tuple(range(1, group_count + 1)), session_rejoin=True
+        )
+    if not phase_high and was_high:
+        return ChurnAction(
+            leave_groups=tuple(
+                group for group in sorted(joined) if group > entitled_level
+            )
+        )
+    return ChurnAction()
+
+
+def decide_churn_batch(
+    rows: Sequence[Row],
+    phase_high: bool,
+    was_high: bool,
+    entitled_level: int,
+    group_count: int,
+    joined: Sequence[int] = (),
+) -> List[Tuple[int, ChurnAction]]:
+    """Batched churn decision over ``(count, level)`` rows.
+
+    The phase schedule is a pure function of time shared by every member of
+    a homogeneous attacker cohort, so each distinct level maps to the same
+    :func:`decide_churn` action — evaluated once and shared across the row.
+    A homogeneous cohort is a single row, which is why the live
+    :class:`~repro.adversary.strategies.ChurnStrategy` calls the scalar
+    form exactly once per slot; this batched form is the general contract
+    the Hypothesis properties pin to the scalar map.
+    """
+    return _batch_rows(
+        rows,
+        lambda _level: decide_churn(
+            phase_high, was_high, entitled_level, group_count, joined
+        ),
+    )
+
+
+def _batch_rows(rows: Sequence[Row], decide: Callable[[int], Any]) -> List[Tuple[int, Any]]:
+    """Map a per-level decision over rows, evaluating each level once."""
+    cache: Dict[int, Any] = {}
+    out: List[Tuple[int, Any]] = []
+    for count, level in rows:
+        decision = cache.get(level)
+        if decision is None:
+            decision = decide(level)
+            cache[level] = decision
+        out.append((count, decision))
     return out
 
 

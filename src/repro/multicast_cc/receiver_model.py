@@ -10,8 +10,11 @@ session's receiver population from.  Two implementations exist:
 * :class:`ReceiverCohort` — one :mod:`~repro.multicast_cc.cohort` receiver
   standing for ``N`` homogeneous honest members, with per-slot cost
   amortised over the population.
+* :class:`AdversarialCohort` — a :class:`ReceiverCohort` whose members mount
+  a batch-exact attack stack (:mod:`repro.adversary.cohort`); the protection
+  metrics weight its excess goodput by the attacker population.
 
-Both expose the same small surface — ``population``, the underlying
+All expose the same small surface — ``population``, the underlying
 ``receiver`` object, per-member and population-weighted goodput — so the
 metrics/analysis layers never branch on the model kind.
 """
@@ -23,7 +26,7 @@ from typing import List, Optional, Protocol, Tuple, runtime_checkable
 
 from .receiver_base import LayeredReceiverBase
 
-__all__ = ["ReceiverModel", "IndividualReceiver", "ReceiverCohort"]
+__all__ = ["ReceiverModel", "IndividualReceiver", "ReceiverCohort", "AdversarialCohort"]
 
 
 @runtime_checkable
@@ -93,3 +96,14 @@ class ReceiverCohort(_ModelBase):
     def population(self) -> int:
         """The cohort's member count, as carried by its receiver object."""
         return self.receiver.population
+
+
+class AdversarialCohort(ReceiverCohort):
+    """A cohort whose ``N`` members all mount the same batch-exact attack.
+
+    Same aggregation surface as :class:`ReceiverCohort` — the distinct type
+    is a marker so model-level tooling can tell attacker populations from
+    honest ones without inspecting the wrapped receiver object (the
+    protection pipeline itself resolves attackers from the session
+    declaration; see ``repro.experiments.runner``).
+    """

@@ -25,7 +25,7 @@ how the paper describes incremental deployment (§3.2.3).
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from .address import GroupAddress
 from .multicast import MulticastRoutingService
@@ -51,23 +51,53 @@ class IgmpGroupManager:
         router.group_manager = self
 
     # ------------------------------------------------------------------
-    def handle_join(self, host: Host, group: GroupAddress) -> None:
+    def handle_join(
+        self,
+        host: Host,
+        group: GroupAddress,
+        members: Optional[int] = None,
+        enact: bool = True,
+    ) -> None:
         """Grant a membership report unconditionally.
 
         A join from a cohort host stands for the joins of its whole
-        population, so the counter advances by ``host.population`` — the
-        number a matching set of individual hosts would have produced —
-        while the grant itself stays one membership update.
-        """
-        self.joins_handled += getattr(host, "population", 1)
-        self.memberships.setdefault(host.name, set()).add(int(group))
-        self.multicast.join(host, group)
+        population, so the counter advances by ``members`` — the weight the
+        sending interface stamped on the report at *send* time (falling
+        back to the host's population for direct calls), so a report in
+        flight across a churn boundary still books the membership it
+        represented when sent.
 
-    def handle_leave(self, host: Host, group: GroupAddress) -> None:
-        """Process a leave report (population-weighted like joins)."""
-        self.leaves_handled += getattr(host, "population", 1)
-        self.memberships.setdefault(host.name, set()).discard(int(group))
-        self.multicast.leave(host, group)
+        ``enact=False`` marks a *churn report*: ``members`` new cohort
+        members adopted a group the interface already receives.  Only the
+        join ledger advances — the forwarding state is governed by the
+        cohort's own ordinary membership reports.
+        """
+        if members is None:
+            members = getattr(host, "population", 1)
+        self.joins_handled += members
+        if enact:
+            self.memberships.setdefault(host.name, set()).add(int(group))
+            self.multicast.join(host, group)
+
+    def handle_leave(
+        self,
+        host: Host,
+        group: GroupAddress,
+        members: Optional[int] = None,
+        enact: bool = True,
+    ) -> None:
+        """Process a leave report (send-time weighted like joins).
+
+        ``enact=False`` marks a churn report: ``members`` cohort members
+        left a group the remaining cohort keeps receiving, so only the
+        ledger moves — the interface's forwarding state is untouched.
+        """
+        if members is None:
+            members = getattr(host, "population", 1)
+        self.leaves_handled += members
+        if enact:
+            self.memberships.setdefault(host.name, set()).discard(int(group))
+            self.multicast.leave(host, group)
 
     def handle_control_packet(self, packet) -> None:
         """IGMP ignores SIGMA special packets (incremental-deployment case)."""
@@ -87,26 +117,39 @@ class IgmpHostInterface:
         self.joined: Set[int] = set()
 
     # ------------------------------------------------------------------
-    def join(self, group: GroupAddress) -> None:
-        """Send a membership report for ``group``."""
-        manager = self._manager()
-        self.joined.add(int(group))
-        self.host.control.send(
-            manager.handle_join,
-            self.host,
-            group,
-            size_bytes=IgmpGroupManager.REPORT_SIZE_BYTES,
-        )
+    def join(self, group: GroupAddress, members: Optional[int] = None) -> None:
+        """Send a membership report for ``group``.
 
-    def leave(self, group: GroupAddress) -> None:
-        """Send a leave report for ``group``."""
-        manager = self._manager()
-        self.joined.discard(int(group))
+        With ``members`` set the report is a cohort *churn report*: it books
+        ``members`` additional members adopting the group (arrival
+        accounting) without changing the interface's own membership — see
+        :meth:`IgmpGroupManager.handle_join`.
+        """
+        if members is None:
+            self.joined.add(int(group))
+        self._send_report(self._manager().handle_join, group, members)
+
+    def leave(self, group: GroupAddress, members: Optional[int] = None) -> None:
+        """Send a leave report for ``group`` (churn report with ``members``)."""
+        if members is None:
+            self.joined.discard(int(group))
+        self._send_report(self._manager().handle_leave, group, members)
+
+    def _send_report(self, handler, group: GroupAddress, members: Optional[int]) -> None:
+        """One report over the control channel.
+
+        Ordinary reports stamp the interface's population at *send* time
+        (so a churn boundary crossed in flight cannot re-weight them, the
+        same send-time semantics SIGMA messages have always had); churn
+        reports carry their explicit member delta and are accounting-only.
+        """
+        if members is None:
+            weight = getattr(self.host, "population", 1)
+            args = (self.host, group, weight, True)
+        else:
+            args = (self.host, group, members, False)
         self.host.control.send(
-            manager.handle_leave,
-            self.host,
-            group,
-            size_bytes=IgmpGroupManager.REPORT_SIZE_BYTES,
+            handler, *args, size_bytes=IgmpGroupManager.REPORT_SIZE_BYTES
         )
 
     def leave_all(self) -> None:

@@ -28,7 +28,17 @@ LINK_RE = re.compile(r"\[[^\]]+\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
 
 def test_docs_tree_exists():
     """The pages the index promises are all present."""
-    for name in ("index", "architecture", "paper-to-code", "cli", "determinism", "performance"):
+    for name in (
+        "index",
+        "architecture",
+        "paper-to-code",
+        "threat-model",
+        "cli",
+        "scale",
+        "determinism",
+        "performance",
+        "benchmarks",
+    ):
         assert (DOCS / f"{name}.md").exists(), f"docs/{name}.md missing"
 
 
@@ -90,6 +100,48 @@ def test_paper_to_code_modules_importable():
         except ImportError:
             module = importlib.import_module(".".join(parts[:-1]))
             assert hasattr(module, parts[-1]), f"{dotted} does not resolve"
+
+
+def test_threat_model_covers_every_registered_strategy():
+    """docs/threat-model.md documents each adversary registry entry — in the
+    taxonomy table *and* in the scale-limits (batches exactly?) table."""
+    from repro.adversary import ADVERSARIES, COHORT_BATCHED_STRATEGIES
+
+    text = (DOCS / "threat-model.md").read_text()
+    for name in ADVERSARIES:
+        assert f"`{name}`" in text, f"threat-model.md misses strategy {name!r}"
+    # The batch-exact verdicts in the scale-limits table match the enforced
+    # constant (each strategy appears in two tables; the verdict column of
+    # the scale-limits one starts with "yes" or "no").
+    for name in ADVERSARIES:
+        expected = "yes" if name in COHORT_BATCHED_STRATEGIES else "no"
+        columns = [
+            match.strip()
+            for match in re.findall(
+                rf"^\| `{re.escape(name)}` \| ([^|]+) \|", text, flags=re.MULTILINE
+            )
+        ]
+        verdicts = [c for c in columns if c.startswith(("yes", "no"))]
+        assert verdicts, f"threat-model.md has no scale-limits row for {name!r}"
+        assert all(v.startswith(expected) for v in verdicts), (
+            f"threat-model.md scale-limits verdict for {name!r} disagrees "
+            f"with COHORT_BATCHED_STRATEGIES"
+        )
+
+
+def test_bench_gallery_is_fresh():
+    """docs/benchmarks.md matches the committed BENCH_*.json documents.
+
+    The gallery is generated (`tools/gen_bench_gallery.py`); on a clean
+    checkout re-rendering it must reproduce the committed page byte for
+    byte.  After rerunning benchmarks locally, regenerate the page.
+    """
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "gen_bench_gallery.py"), "--check"],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr or result.stdout
 
 
 def test_public_api_docstrings():

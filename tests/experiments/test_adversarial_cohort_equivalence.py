@@ -1,0 +1,180 @@
+"""Exactness of adversarial cohorts: cohort of N attackers == N attackers.
+
+The adversarial-cohort contract (``docs/threat-model.md``) extends the
+honest-cohort exactness guarantee to the batch-exact strategies: a
+:class:`~repro.experiments.spec.CohortDecl` carrying an ``AttackSpec``
+realised with ``model="cohort"`` must reproduce — with ``==``, on the same
+seed — what ``model="individual"`` produces member for member:
+
+* identical subscription-level trajectories (the full ``(time, level)``
+  transition list),
+* identical per-member goodput,
+* identical SIGMA counters (valid/invalid submissions, session joins,
+  revocations, ignored bare joins) on the protected variant and identical
+  population-weighted IGMP counters on the unprotected one,
+* identical attack counters (the cohort's context books per member; the
+  individual realisation's counters are summed across members).
+
+Randomised strategies cannot batch (each member draws its own keys), which
+the spec layer rejects up front — also asserted here.
+"""
+
+import itertools
+
+import pytest
+
+from repro.adversary import AttackSpec
+from repro.experiments import (
+    PAPER_DEFAULTS,
+    CohortDecl,
+    Scenario,
+    ScenarioSpec,
+    SessionDecl,
+)
+
+POPULATION = 3
+DURATION_S = 16.0
+ATTACK_START_S = 6.0
+
+#: The batch-exact strategies (docs/threat-model.md's scale-limits table).
+STRATEGIES = ("inflated-join", "ignore-congestion", "churn")
+
+
+def _spec(protected: bool, model: str, strategy: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="adversarial-cohort-equivalence",
+        protected=protected,
+        expected_sessions=2,
+        sessions=(
+            SessionDecl(
+                "atk",
+                receivers=0,
+                population=(
+                    CohortDecl(
+                        POPULATION,
+                        model=model,
+                        attack=AttackSpec(strategy, start_s=ATTACK_START_S),
+                    ),
+                ),
+            ),
+            SessionDecl("hon", receivers=1),
+        ),
+        duration_s=DURATION_S,
+        config=PAPER_DEFAULTS,
+    )
+
+
+def _run(protected: bool, model: str, strategy: str) -> Scenario:
+    scenario = Scenario.from_spec(_spec(protected, model, strategy))
+    scenario.run(DURATION_S)
+    return scenario
+
+
+@pytest.fixture(
+    scope="module",
+    params=list(itertools.product([False, True], STRATEGIES)),
+    ids=lambda p: f"{'flid_ds' if p[0] else 'flid_dl'}-{p[1]}",
+)
+def pair(request):
+    """One (cohort, individual) scenario pair per protocol × strategy."""
+    protected, strategy = request.param
+    return (
+        protected,
+        strategy,
+        _run(protected, "cohort", strategy),
+        _run(protected, "individual", strategy),
+    )
+
+
+def test_population_accounting(pair):
+    """Both realisations stand for the same number of attackers."""
+    _, _, cohort, individual = pair
+    assert cohort.sessions[0].total_population == POPULATION
+    assert individual.sessions[0].total_population == POPULATION
+    assert len(cohort.sessions[0].receivers) == 1
+    assert len(individual.sessions[0].receivers) == POPULATION
+
+
+def test_identical_attack_trajectories(pair):
+    """The cohort's level trajectory equals every individual attacker's."""
+    _, _, cohort, individual = pair
+    cohort_history = cohort.sessions[0].receivers[0].level_history
+    assert len(cohort_history) >= 1
+    for receiver in individual.sessions[0].receivers:
+        assert receiver.level_history == cohort_history
+
+
+def test_identical_per_member_goodput(pair):
+    """Per-member attacker goodput matches exactly."""
+    _, _, cohort, individual = pair
+    member_kbps = cohort.sessions[0].receivers[0].average_rate_kbps(0.0, DURATION_S)
+    assert member_kbps > 0
+    for receiver in individual.sessions[0].receivers:
+        assert receiver.average_rate_kbps(0.0, DURATION_S) == member_kbps
+
+
+def test_identical_attack_counters(pair):
+    """Cohort attack counters equal the member-wise sum of individuals'."""
+    _, strategy, cohort, individual = pair
+    cohort_stats = cohort.sessions[0].receivers[0].adversary_stats()
+    summed = {
+        key: sum(r.adversary_stats()[key] for r in individual.sessions[0].receivers)
+        for key in cohort_stats
+    }
+    assert cohort_stats == summed
+    if strategy in ("inflated-join", "churn"):
+        assert cohort_stats["igmp_attempts"] > 0  # the attack actually ran
+
+
+def test_identical_sigma_counters(pair):
+    """Protected variant: every SIGMA counter matches exactly."""
+    protected, _, cohort, individual = pair
+    if not protected:
+        pytest.skip("SIGMA counters exist only on the protected variant")
+    a, b = cohort.sigma, individual.sigma
+    assert a.valid_submissions == b.valid_submissions
+    assert a.invalid_submissions == b.invalid_submissions
+    assert a.session_joins == b.session_joins
+    assert a.revocations == b.revocations
+    assert a.igmp_joins_ignored == b.igmp_joins_ignored
+
+
+def test_identical_igmp_counters(pair):
+    """Unprotected variant: population-weighted join/leave counts match."""
+    protected, _, cohort, individual = pair
+    if protected:
+        pytest.skip("IGMP managers exist only on the unprotected variant")
+    a, b = cohort.igmp_managers[0], individual.igmp_managers[0]
+    assert a.joins_handled == b.joins_handled
+    assert a.leaves_handled == b.leaves_handled
+
+
+def test_randomised_strategies_rejected_on_cohorts():
+    """Strategies drawing per-attacker randomness cannot batch."""
+    for strategy in ("key-guessing", "key-replay", "collusion", "join-storm"):
+        with pytest.raises(ValueError, match="batch"):
+            CohortDecl(3, attack=AttackSpec(strategy))
+
+
+def test_adversarial_cohorts_refuse_churn_at_the_class_level():
+    """The churn+attack exclusion holds even bypassing the spec layer."""
+    scenario = Scenario.from_spec(_spec(True, "cohort", "inflated-join"))
+    receiver = scenario.sessions[0].receivers[0]
+    from repro.experiments import ChurnProcess
+
+    with pytest.raises(ValueError, match="cannot churn"):
+        receiver.attach_churn(ChurnProcess(arrival_rate=1.0))
+
+
+def test_protection_metrics_weight_attacker_cohorts():
+    """The protection block reports the cohort's population-weighted excess."""
+    from repro.experiments import ExperimentRunner
+
+    spec = _spec(True, "cohort", "inflated-join")
+    result = ExperimentRunner().run_one(spec)
+    entry = result.metrics["protection"]["sessions"]["atk"]["attackers"]["0"]
+    assert entry["population"] == POPULATION
+    assert entry["weighted_excess_kbps"] == pytest.approx(
+        POPULATION * entry["excess_kbps"]
+    )
+    assert entry["counters"]["igmp_attempts"] > 0

@@ -11,8 +11,12 @@ from repro.experiments import (
     PAPER_DEFAULTS,
     ScenarioSpec,
     SessionDecl,
+    attack_churn_flash_crowd_spec,
+    attack_inflated_100k_spec,
+    run_scale_protection_sweep,
     scale_dumbbell_spec,
     scale_overhead_spec,
+    scale_protection_spec,
     scenario_spec,
 )
 
@@ -60,7 +64,13 @@ def test_population_validation():
 
 
 def test_scale_scenarios_registered():
-    for name in ("scale-dumbbell-10k", "scale-overhead-100k"):
+    for name in (
+        "scale-dumbbell-10k",
+        "scale-overhead-100k",
+        "attack-inflated-100k",
+        "attack-churn-flash-crowd",
+        "scale-protection",
+    ):
         assert scenario_spec(name).name == name
 
 
@@ -95,6 +105,63 @@ def test_scale_overhead_100k_wall_clock_budget():
     # Figure 9's claim at scale: overhead stays at its per-session value.
     assert 0.0 < audience["overhead_percent"]["delta"] < 2.0
     assert 0.0 < audience["overhead_percent"]["sigma"] < 2.0
+
+
+def test_attack_inflated_100k_wall_clock_budget():
+    """The 100k-audience attack scenario fits far inside the 60 s budget.
+
+    The acceptance bound is 60 s wall on the reference 1-CPU container;
+    asserting half of that leaves generous slack while failing loudly if
+    per-member cost creeps back into the adversarial-cohort hot path.
+    """
+    spec = attack_inflated_100k_spec()  # full: 100,000 honest + 100 attackers
+    assert spec.sessions[0].total_population() == 100_000
+    assert spec.sessions[1].total_population() == 100
+    start = time.perf_counter()
+    result = ExperimentRunner().run_one(spec)
+    wall_s = time.perf_counter() - start
+    assert wall_s < 30.0
+    protection = result.metrics["protection"]
+    entry = protection["sessions"]["attackers"]["attackers"]["0"]
+    assert entry["population"] == 100
+    # Containment at scale: the attacker cohort gains nothing per member.
+    assert entry["excess_kbps"] < 0.0
+    assert entry["containment_s"] is not None
+    assert entry["weighted_excess_kbps"] == pytest.approx(100 * entry["excess_kbps"])
+    assert result.metrics["multicast"]["audience"]["population"] == 100_000
+
+
+def test_attack_churn_flash_crowd_surges_to_100k():
+    """The flash-crowd scenario grows the audience 100 -> 100k mid-session."""
+    spec = attack_churn_flash_crowd_spec()
+    result = ExperimentRunner().run_one(spec)
+    crowd = result.metrics["multicast"]["crowd"]
+    assert crowd["population"] == 100_000
+    assert crowd["weighted_average_kbps"] > 0
+    assert "protection" in result.metrics
+
+
+def test_scale_protection_sweep_grid():
+    """The audience × attacker-fraction grid returns one result per point."""
+    results = run_scale_protection_sweep(
+        audiences=(200, 400),
+        attacker_fractions=(0.01, 0.1),
+        duration_s=12.0,
+        attack_start_s=4.0,
+    )
+    assert len(results) == 4
+    for result in results:
+        entry = result.metrics["protection"]["sessions"]["attackers"]["attackers"]["0"]
+        assert entry["population"] >= 1
+        assert "weighted_excess_kbps" in entry
+
+
+def test_scale_protection_attacker_sizing():
+    spec = scale_protection_spec(audience=1000, attacker_fraction=0.01)
+    assert spec.sessions[1].population[0].count == 10
+    assert spec.sessions[0].population[0].count == 990
+    with pytest.raises(ValueError):
+        scale_protection_spec(attacker_fraction=0.0)
 
 
 def test_cohort_population_weights_protection_baseline():

@@ -35,6 +35,18 @@ CASES = {
     "attack-ignore-congestion": dict(attack_start_s=6.0, duration_s=18.0),
     "attack-composite": dict(attack_start_s=6.0, duration_s=18.0),
     "attack-collusion-parking-lot": dict(attack_start_s=6.0, duration_s=18.0),
+    # Adversarial-cohort / flash-crowd scenarios, at golden-friendly scale
+    # (the builders are population-parameterised; the digests lock the
+    # batched attack pipeline and the churn booking byte-for-byte).
+    "attack-inflated-100k": dict(
+        receivers=2000, attackers=5, attack_start_s=6.0, duration_s=18.0
+    ),
+    "attack-churn-flash-crowd": dict(
+        initial=50, surge=1950, surge_at_s=8.0, attack_start_s=6.0, duration_s=18.0
+    ),
+    "scale-protection": dict(
+        audience=1000, attacker_fraction=0.01, attack_start_s=6.0, duration_s=18.0
+    ),
 }
 
 

@@ -12,8 +12,15 @@ from hypothesis import strategies as st
 from repro.core.delta import LayeredDeltaReceiver
 from repro.core.delta.base import ReceiverSlotObservation
 from repro.multicast_cc.decision import (
+    attack_target_level,
+    churn_phase,
+    decide_churn,
+    decide_churn_batch,
     decide_dl,
     decide_dl_batch,
+    decide_inflated_join,
+    decide_inflated_join_batch,
+    mask_congestion,
     merge_rows,
     reconstruct_ds_batch,
 )
@@ -116,3 +123,87 @@ def test_ds_batch_equals_scalar_map(rows, observation):
         )
         assert result.next_level == scalar.next_level
         assert result.keys == scalar.keys
+
+
+# ----------------------------------------------------------------------
+# attack decisions: batched forms equal the scalar map (adversarial cohorts)
+# ----------------------------------------------------------------------
+@given(
+    intensity=st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+    group_count=st.integers(min_value=1, max_value=32),
+)
+def test_attack_target_level_stays_in_range(intensity, group_count):
+    """The inflated target is always a valid subscription level."""
+    target = attack_target_level(intensity, group_count)
+    assert 1 <= target <= group_count
+
+
+@given(rows=rows_strategy, target=st.integers(min_value=1, max_value=GROUP_COUNT))
+def test_inflated_join_batch_equals_scalar_map(rows, target):
+    """Each batched row outcome equals the scalar frozen-subscription rule."""
+    outcomes = decide_inflated_join_batch(rows, target)
+    assert [count for count, _ in outcomes] == [count for count, _ in rows]
+    for (count, level), (_, decision) in zip(rows, outcomes):
+        assert decision == decide_inflated_join(level, target)
+        assert decision.next_level == target
+
+
+@given(congested=st.booleans())
+def test_mask_congestion_masks_or_passes(congested):
+    """mask rewrites every verdict to calm; hold passes it through."""
+    assert mask_congestion(congested, "mask") is False
+    assert mask_congestion(congested, "hold") == congested
+
+
+@given(
+    elapsed=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    period=st.floats(min_value=1e-3, max_value=100.0, allow_nan=False),
+    duty=st.floats(min_value=-1.0, max_value=2.0, allow_nan=False),
+)
+def test_churn_phase_duty_cycle(elapsed, period, duty):
+    """The high phase occupies exactly the clamped duty share of each cycle."""
+    high = churn_phase(elapsed, period, duty)
+    clamped = min(1.0, max(0.0, duty))
+    assert high == ((elapsed % period) < clamped * period)
+    if clamped == 0.0:
+        assert not high
+
+
+@given(
+    rows=rows_strategy,
+    phase_high=st.booleans(),
+    was_high=st.booleans(),
+    entitled=st.integers(min_value=0, max_value=GROUP_COUNT),
+    joined=st.frozensets(st.integers(min_value=1, max_value=GROUP_COUNT), max_size=8),
+)
+def test_churn_batch_equals_scalar_map(rows, phase_high, was_high, entitled, joined):
+    """Batched churn actions equal the scalar decision for every row."""
+    outcomes = decide_churn_batch(
+        rows, phase_high, was_high, entitled, GROUP_COUNT, sorted(joined)
+    )
+    assert [count for count, _ in outcomes] == [count for count, _ in rows]
+    scalar = decide_churn(phase_high, was_high, entitled, GROUP_COUNT, sorted(joined))
+    for _count, action in outcomes:
+        assert action == scalar
+
+
+@given(
+    phase_high=st.booleans(),
+    was_high=st.booleans(),
+    entitled=st.integers(min_value=0, max_value=GROUP_COUNT),
+    joined=st.frozensets(st.integers(min_value=1, max_value=GROUP_COUNT), max_size=8),
+)
+def test_churn_edges(phase_high, was_high, entitled, joined):
+    """Rising edges join everything + rejoin; falling edges shed the excess."""
+    action = decide_churn(phase_high, was_high, entitled, GROUP_COUNT, sorted(joined))
+    if phase_high and not was_high:
+        assert action.join_groups == tuple(range(1, GROUP_COUNT + 1))
+        assert action.session_rejoin
+        assert not action.leave_groups
+    elif not phase_high and was_high:
+        assert action.leave_groups == tuple(
+            group for group in sorted(joined) if group > entitled
+        )
+        assert not action.join_groups and not action.session_rejoin
+    else:
+        assert action == type(action)()

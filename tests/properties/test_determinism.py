@@ -142,6 +142,36 @@ def test_attack_grid_serial_and_parallel_paths_are_byte_identical():
     assert [r.to_json() for r in serial] == [r.to_json() for r in parallel]
 
 
+def scale_attack_specs():
+    """Reduced variants of the adversarial-cohort / flash-crowd scenarios."""
+    from repro.experiments import (
+        attack_churn_flash_crowd_spec,
+        attack_inflated_100k_spec,
+        scale_protection_spec,
+    )
+
+    return [
+        attack_inflated_100k_spec(
+            receivers=300, attackers=3, duration_s=8.0, attack_start_s=2.0
+        ),
+        attack_churn_flash_crowd_spec(
+            initial=30, surge=270, surge_at_s=4.0, attack_start_s=2.0, duration_s=8.0
+        ),
+        scale_protection_spec(
+            audience=200, attacker_fraction=0.05, duration_s=8.0, attack_start_s=2.0
+        ),
+    ]
+
+
+def test_scale_attack_serial_and_parallel_paths_are_byte_identical():
+    """Adversarial cohorts and churned populations keep the cross-process
+    guarantee: their dynamics are deterministic functions of the spec."""
+    specs = scale_attack_specs()
+    serial = ExperimentRunner(jobs=1).run(specs)
+    parallel = ExperimentRunner(jobs=2).run(specs)
+    assert [r.to_json() for r in serial] == [r.to_json() for r in parallel]
+
+
 def test_different_seeds_actually_differ():
     """A sanity check that the seed reaches the experiment at all."""
     base = dumbbell_spec()

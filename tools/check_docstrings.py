@@ -47,7 +47,11 @@ SCOPED: Tuple[str, ...] = (
     "simulator/igmp.py",
     "experiments/spec.py",
     "experiments/runner.py",
+    "experiments/scale.py",
     "adversary/strategy.py",
+    "adversary/cohort.py",
+    "multicast_cc/decision.py",
+    "multicast_cc/churn.py",
 )
 
 

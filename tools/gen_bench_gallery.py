@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Render the committed ``BENCH_*.json`` results into ``docs/benchmarks.md``.
+
+Every benchmark in this repository writes a machine-readable result document
+(``benchmarks/results/BENCH_<name>.json`` via the ``bench_record`` fixture,
+plus the top-level ``BENCH_scale.json`` trajectory anchor).  This tool — the
+only writer of ``docs/benchmarks.md`` — renders them into one generated
+gallery page: a headline block for the speedup/receivers-per-second
+yardsticks, then one section per benchmark with its runtime, memory block
+and flattened metrics.
+
+Stdlib-only and deterministic: the page is a pure function of the committed
+JSON files, so CI (and ``tests/docs``) can assert freshness by re-rendering
+and comparing bytes.
+
+Usage::
+
+    python tools/gen_bench_gallery.py            # (re)write docs/benchmarks.md
+    python tools/gen_bench_gallery.py --check    # exit 1 if the page is stale
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+TOP_LEVEL_BENCH = REPO_ROOT / "BENCH_scale.json"
+OUTPUT = REPO_ROOT / "docs" / "benchmarks.md"
+
+#: Flattened metric rows rendered per benchmark before eliding the tail —
+#: the elision is always announced (never a silent cap).
+MAX_ROWS_PER_BENCH = 48
+
+HEADER = """<!-- GENERATED FILE — do not edit.
+     Regenerate with: python tools/gen_bench_gallery.py
+     (CI re-renders this page from the committed BENCH_*.json files and
+     fails when it drifts.) -->
+
+# Benchmark gallery
+
+Rendered from the committed `benchmarks/results/BENCH_*.json` documents and
+the top-level `BENCH_scale.json` trajectory anchor — regenerate after
+rerunning benchmarks with `python tools/gen_bench_gallery.py`.  Numbers are
+from the reference 1-CPU container (see [performance.md](performance.md)
+and [scale.md](scale.md) for what each yardstick means).
+"""
+
+
+def _fmt(value: Any) -> str:
+    """Render one metric leaf deterministically and compactly."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:,.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value is None:
+        return "—"
+    return str(value)
+
+
+def _flatten(payload: Any, prefix: str = "") -> Iterator[Tuple[str, Any]]:
+    """Yield ``dotted.path -> leaf`` pairs in sorted key order."""
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from _flatten(payload[key], path)
+    elif isinstance(payload, (list, tuple)):
+        for index, value in enumerate(payload):
+            yield from _flatten(value, f"{prefix}[{index}]")
+    else:
+        yield prefix, payload
+
+
+def _load(path: Path) -> Dict[str, Any]:
+    return json.loads(path.read_text())
+
+
+def _bench_files() -> List[Path]:
+    return sorted(RESULTS_DIR.glob("BENCH_*.json"))
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def _headline(lines: List[str]) -> None:
+    """The cross-PR yardsticks: engine speedup, scale rates, protection."""
+    lines.append("## Headline yardsticks\n")
+    lines.append("| Yardstick | Value | Source |")
+    lines.append("|---|---|---|")
+
+    hotpath = RESULTS_DIR / "BENCH_engine_hotpath.json"
+    if hotpath.exists():
+        metrics = _load(hotpath).get("metrics", {})
+        lines.append(
+            f"| Engine hot-path speedup vs committed baseline | "
+            f"{_fmt(metrics.get('speedup_vs_baseline'))}× "
+            f"({_fmt(metrics.get('events_per_sec'))} events/s) | "
+            f"`BENCH_engine_hotpath.json` |"
+        )
+    if TOP_LEVEL_BENCH.exists():
+        metrics = _load(TOP_LEVEL_BENCH).get("metrics", {})
+        speedup = metrics.get("cohort_speedup", {})
+        if speedup:
+            cohort = speedup.get("cohort", {})
+            lines.append(
+                f"| Cohort vs individual receivers/s (10k audience) | "
+                f"{_fmt(speedup.get('speedup_receivers_per_sec'))}× "
+                f"({_fmt(cohort.get('receivers_per_sec'))} rx/s; floor "
+                f"{_fmt(speedup.get('min_speedup'))}×) | `BENCH_scale.json` |"
+            )
+        protection = metrics.get("protection_at_scale", {})
+        if protection:
+            lines.append(
+                f"| Protection at scale (`{protection.get('scenario')}`) | "
+                f"{_fmt(protection.get('receivers'))} receivers in "
+                f"{_fmt(protection.get('wall_s'))} s wall "
+                f"({_fmt(protection.get('receivers_per_sec'))} rx/s), attacker "
+                f"cohort weighted excess {_fmt(protection.get('weighted_excess_kbps'))} "
+                f"Kbps, contained in {_fmt(protection.get('containment_s'))} s | "
+                f"`BENCH_scale.json` |"
+            )
+    lines.append("")
+
+
+def _memory_line(memory: Dict[str, Any]) -> str:
+    parts = [f"peak RSS {memory.get('peak_rss_kb', 0.0) / 1024.0:,.1f} MiB"]
+    if "gc_tracked_objects" in memory:
+        parts.append(f"{memory['gc_tracked_objects']:,} GC-tracked objects")
+    traced = memory.get("tracemalloc")
+    if traced:
+        parts.append(
+            f"tracemalloc current {traced.get('current_kb', 0.0) / 1024.0:,.1f} / "
+            f"peak {traced.get('peak_kb', 0.0) / 1024.0:,.1f} MiB, "
+            f"{traced.get('live_blocks', 0):,} live blocks"
+        )
+    return ", ".join(parts)
+
+
+def _section(lines: List[str], path: Path, payload: Dict[str, Any]) -> None:
+    lines.append(f"## `{path.name}`\n")
+    runtime = payload.get("runtime_s")
+    if runtime is not None:
+        lines.append(f"- runtime: {runtime:,.3f} s")
+    memory = payload.get("memory")
+    if memory:
+        lines.append(f"- memory: {_memory_line(memory)}")
+    rows = list(_flatten(payload.get("metrics", {})))
+    if rows:
+        lines.append("")
+        lines.append("| Metric | Value |")
+        lines.append("|---|---|")
+        for key, value in rows[:MAX_ROWS_PER_BENCH]:
+            lines.append(f"| `{key}` | {_fmt(value)} |")
+        elided = len(rows) - MAX_ROWS_PER_BENCH
+        if elided > 0:
+            lines.append(
+                f"| … | {elided} more rows elided (see the JSON for the full document) |"
+            )
+    lines.append("")
+
+
+def render_gallery() -> str:
+    """The full docs/benchmarks.md content as a string."""
+    lines: List[str] = [HEADER]
+    _headline(lines)
+
+    if TOP_LEVEL_BENCH.exists():
+        _section(lines, TOP_LEVEL_BENCH, _load(TOP_LEVEL_BENCH))
+    for path in _bench_files():
+        _section(lines, path, _load(path))
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ----------------------------------------------------------------------
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if docs/benchmarks.md is stale instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+
+    content = render_gallery()
+    if args.check:
+        if not OUTPUT.exists() or OUTPUT.read_text() != content:
+            print(
+                f"{OUTPUT.relative_to(REPO_ROOT)} is stale; regenerate with "
+                f"`python tools/gen_bench_gallery.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{OUTPUT.relative_to(REPO_ROOT)} is up to date")
+        return 0
+    OUTPUT.write_text(content)
+    print(f"wrote {OUTPUT.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
