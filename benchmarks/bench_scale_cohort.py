@@ -22,6 +22,17 @@ adversarial cohort against a 100,000-receiver honest cohort — under its
 wall time, receivers per second, containment and the population-weighted
 excess goodput.
 
+A third measurement sweeps the **cohort-count axis** at a fixed total
+population: the per-cohort-object model re-grows a Python object per cohort,
+so its rate collapses as cohorts multiply, while the columnar ``vector``
+model keeps one receiver per edge interface however many cohort rows it
+carries.  The sweep records both models' receivers-per-second at 10/100/1k/
+10k cohorts (the per-object reference capped at ``COHORT_OBJECT_CAP``
+cohorts — running it at 10k would burn minutes measuring a model the sweep
+exists to retire; the cap is recorded in the block) and asserts the columnar
+rate is at least ``MIN_COLUMNAR_SPEEDUP``× (10×) the per-object rate at
+1,000 cohorts.
+
 Results land in ``benchmarks/results/BENCH_scale_cohort.json`` and — so the
 cross-PR perf trajectory has a stable, top-level anchor — in
 ``BENCH_scale.json`` at the repository root (both blocks merged into one
@@ -38,6 +49,7 @@ import time
 from repro.analysis import write_json
 from repro.experiments import ExperimentRunner, attack_inflated_100k_spec, scale_dumbbell_spec
 from repro.experiments.scenario import Scenario
+from repro.multicast_cc.population import active_backend
 
 #: The allocation profile of the two receiver models is part of what this
 #: benchmark measures; opt in to the harness's tracemalloc probe (both model
@@ -58,6 +70,19 @@ MIN_SPEEDUP = 50.0
 #: Acceptance budget for the full attack-inflated-100k scenario (1 CPU).
 PROTECTION_BUDGET_S = 60.0
 
+#: Cohort-count sweep: fixed total population split into this many rows.
+SWEEP_TOTAL = 100_000
+SWEEP_COHORT_COUNTS = (10, 100, 1_000, 10_000)
+
+#: Largest cohort count the per-cohort-object reference model runs at; the
+#: columnar model runs the full sweep.  The cap is recorded in the block so
+#: the gallery shows it was a deliberate bound, not silent truncation.
+COHORT_OBJECT_CAP = 1_000
+
+#: Regression floor: columnar receivers/s over per-cohort-object receivers/s
+#: at 1,000 cohorts (the tentpole claim of the columnar engine).
+MIN_COLUMNAR_SPEEDUP = 10.0
+
 
 def _merge_top_level(key: str, value: dict, source: pathlib.Path) -> None:
     """Merge one metrics block into the top-level ``BENCH_scale.json``.
@@ -74,7 +99,7 @@ def _merge_top_level(key: str, value: dict, source: pathlib.Path) -> None:
     payload["bench"] = "scale"
     # Keep only known blocks, so a legacy flat-format document (or a block
     # renamed away) cannot leave stale rows in the anchor forever.
-    known = ("cohort_speedup", "protection_at_scale")
+    known = ("cohort_speedup", "protection_at_scale", "columnar_speedup")
     payload["metrics"] = {
         k: v for k, v in payload.get("metrics", {}).items() if k in known
     }
@@ -190,3 +215,79 @@ def test_protection_at_scale_budget(bench_record):
     # The containment claim itself: no per-member gain, bounded quickly.
     assert entry["excess_kbps"] < 0.0
     assert entry["containment_s"] is not None
+
+
+def _run_sweep_point(model: str, cohorts: int) -> dict:
+    """One cohort-count sweep point: rate of ``model`` at ``cohorts`` rows."""
+    spec = scale_dumbbell_spec(
+        receivers=SWEEP_TOTAL,
+        model=model,
+        cohorts=cohorts,
+        duration_s=BENCH_DURATION_S,
+        attack_start_s=4.0,
+    )
+    scenario = Scenario.from_spec(spec)
+    start = time.perf_counter()
+    scenario.run(BENCH_DURATION_S)
+    wall_s = time.perf_counter() - start
+    audience = scenario.sessions[0]
+    assert audience.total_population == SWEEP_TOTAL
+    assert audience.receivers[0].level > 0
+    assert audience.receivers[0].monitor.total_bytes > 0
+    return {
+        "model": model,
+        "cohorts": cohorts,
+        "receivers": SWEEP_TOTAL,
+        "receiver_objects": len(audience.receivers),
+        "wall_s": wall_s,
+        "receivers_per_sec": SWEEP_TOTAL / wall_s if wall_s > 0 else 0.0,
+    }
+
+
+def test_columnar_cohort_sweep_speedup(bench_record):
+    """Columnar vs per-cohort-object rate across the cohort-count axis.
+
+    Fixed 100k-member audience split into 10/100/1k/10k cohort rows: the
+    columnar ``vector`` model runs the full sweep, the per-cohort-object
+    reference runs up to ``COHORT_OBJECT_CAP`` rows (cap recorded — the
+    per-object rate only falls further with more objects, so the asserted
+    comparison at 1,000 cohorts is conservative).  Asserts the columnar
+    engine delivers >= 10x receivers/s at 1,000 cohorts and merges the
+    ``columnar_speedup`` block into the top-level ``BENCH_scale.json``.
+    """
+    sweep = []
+    for cohorts in SWEEP_COHORT_COUNTS:
+        sweep.append(_run_sweep_point("vector", cohorts))
+        if cohorts <= COHORT_OBJECT_CAP:
+            sweep.append(_run_sweep_point("cohort", cohorts))
+    rates = {(point["model"], point["cohorts"]): point for point in sweep}
+    vector = rates[("vector", COHORT_OBJECT_CAP)]
+    cohort = rates[("cohort", COHORT_OBJECT_CAP)]
+    speedup = vector["receivers_per_sec"] / max(cohort["receivers_per_sec"], 1e-9)
+
+    metrics = {
+        "backend": active_backend(),
+        "total_receivers": SWEEP_TOTAL,
+        "cohort_object_cap": COHORT_OBJECT_CAP,
+        "sweep": sweep,
+        "speedup_at_cap_cohorts": speedup,
+        "min_speedup": MIN_COLUMNAR_SPEEDUP,
+    }
+    path = bench_record(metrics, name="scale_columnar")
+    _merge_top_level("columnar_speedup", metrics, path)
+
+    for point in sweep:
+        print(
+            f"\n{point['model']:>7} @ {point['cohorts']:>6} cohorts: "
+            f"{point['receiver_objects']} objects, {point['wall_s']:.2f}s "
+            f"({point['receivers_per_sec']:,.0f} rx/s)",
+            end="",
+        )
+    print(f"\nspeedup @ {COHORT_OBJECT_CAP} cohorts: {speedup:,.1f}x "
+          f"(floor {MIN_COLUMNAR_SPEEDUP}x)")
+    assert speedup >= MIN_COLUMNAR_SPEEDUP, (
+        f"columnar model delivers only {speedup:.1f}x receivers/s over the "
+        f"per-cohort-object model at {COHORT_OBJECT_CAP} cohorts "
+        f"(floor {MIN_COLUMNAR_SPEEDUP}x) — per-row Python cost has crept "
+        "back into the per-slot path"
+    )

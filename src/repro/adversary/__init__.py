@@ -36,6 +36,7 @@ from .strategies import (
 )
 from .receivers import AdversarialFlidDlReceiver, AdversarialFlidDsReceiver
 from .cohort import AdversarialCohortFlidDlReceiver, AdversarialCohortFlidDsReceiver
+from .vector import AdversarialVectorFlidDlReceiver, AdversarialVectorFlidDsReceiver
 
 __all__ = [
     "AttackContext",
@@ -57,4 +58,6 @@ __all__ = [
     "AdversarialFlidDsReceiver",
     "AdversarialCohortFlidDlReceiver",
     "AdversarialCohortFlidDsReceiver",
+    "AdversarialVectorFlidDlReceiver",
+    "AdversarialVectorFlidDsReceiver",
 ]

@@ -1,0 +1,119 @@
+"""Adversarial vector blocks: batched attackers over columnar rows.
+
+The columnar engine's adversarial counterpart: one vectorised receiver per
+edge router whose rows are attacker cohorts, mounting the same batch-exact
+strategy stack an :mod:`~repro.adversary.cohort` receiver would — the
+constraint set is identical
+(:data:`~repro.adversary.spec.COHORT_BATCHED_STRATEGIES`, enforced by the
+inherited :class:`~repro.adversary.cohort._CohortAdversaryMixin`).  The
+only addition is keeping the :class:`~repro.multicast_cc.population`
+level column pinned in lockstep with strategy-driven level overrides,
+via the array-form frozen-subscription rule.
+
+``tests/experiments/test_adversarial_cohort_equivalence.py`` pins the
+contract: a vector block of N attackers produces the same trajectories,
+goodput and SIGMA/IGMP/attack counters as N individual attackers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..multicast_cc.decision import decide_inflated_join_array
+from ..multicast_cc.session import SessionSpec
+from ..multicast_cc.population import PopulationTable
+from ..multicast_cc.vector import VectorFlidDlReceiver, VectorFlidDsReceiver
+from ..simulator.node import Host
+from ..simulator.topology import Network
+from .cohort import _CohortAdversaryMixin
+from .strategy import AttackStrategy
+
+__all__ = [
+    "AdversarialVectorFlidDlReceiver",
+    "AdversarialVectorFlidDsReceiver",
+]
+
+
+class _VectorAdversaryMixin(_CohortAdversaryMixin):
+    """Cohort adversary dispatch plus columnar level-column pinning."""
+
+    def _set_level(self, level: int) -> None:
+        """Pin every block row at the strategy's level, column-wise.
+
+        The inherited cohort mixin pins the merged ``(count, level)`` rows;
+        the vector block additionally pins its level column through
+        :func:`~repro.multicast_cc.decision.decide_inflated_join_array`
+        (the array form of the same frozen-subscription rule) and records
+        the pin in the ``targets`` column for observability.
+        """
+        super()._set_level(level)
+        block = getattr(self, "_block", None)
+        if block is not None:
+            block.set_levels(decide_inflated_join_array(block.levels(), self.level))
+            block.set_targets(int(self.level))
+
+
+class AdversarialVectorFlidDlReceiver(_VectorAdversaryMixin, VectorFlidDlReceiver):
+    """FLID-DL vector block whose rows all mount one batch-exact stack."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        spec: SessionSpec,
+        strategies: Sequence[AttackStrategy],
+        counts: Sequence[int],
+        table: PopulationTable,
+        router: str,
+        bin_width_s: float = 1.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            network,
+            host,
+            spec,
+            counts=counts,
+            table=table,
+            router=router,
+            bin_width_s=bin_width_s,
+            name=name,
+        )
+        self._init_adversary(strategies)
+
+
+class AdversarialVectorFlidDsReceiver(_VectorAdversaryMixin, VectorFlidDsReceiver):
+    """FLID-DS vector block whose rows all mount one batch-exact stack.
+
+    The batched DELTA pipeline keeps running exactly as on the honest
+    vector receiver; strategies see the reconstructed keys through the same
+    ``on_keys`` hook as on every other adversarial receiver.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        spec: SessionSpec,
+        strategies: Sequence[AttackStrategy],
+        counts: Sequence[int],
+        table: PopulationTable,
+        router: str,
+        key_bits: int = 16,
+        bin_width_s: float = 1.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            network,
+            host,
+            spec,
+            counts=counts,
+            table=table,
+            router=router,
+            key_bits=key_bits,
+            bin_width_s=bin_width_s,
+            name=name,
+        )
+        self._init_adversary(strategies)
+
+    def _on_keys_reconstructed(self, governed_slot: int, keys) -> None:
+        self._dispatch_reconstructed_keys(governed_slot, keys)

@@ -70,6 +70,7 @@ from .scale import (
     attack_churn_flash_crowd_spec,
     attack_inflated_100k_spec,
     run_scale_protection_sweep,
+    scale_dumbbell_1m_spec,
     scale_dumbbell_spec,
     scale_overhead_spec,
     scale_protection_spec,
@@ -89,6 +90,7 @@ __all__ = [
     "attack_churn_flash_crowd_spec",
     "attack_inflated_100k_spec",
     "run_scale_protection_sweep",
+    "scale_dumbbell_1m_spec",
     "scale_dumbbell_spec",
     "scale_overhead_spec",
     "scale_protection_spec",

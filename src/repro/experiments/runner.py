@@ -172,23 +172,21 @@ def collect_metrics(scenario: Scenario, spec: ScenarioSpec) -> Dict[str, Any]:
     return metrics
 
 
-def _attacker_object_indices(decl: SessionDecl) -> Dict[int, bool]:
+def _attacker_object_indices(decl: SessionDecl, session: Any) -> Dict[int, bool]:
     """Map attacking receiver-object indices to "came from a population block".
 
-    Object indices align with ``Scenario``'s realised ``session.receivers``:
-    the ``decl.receivers`` individuals first, then each population block —
-    one object for an aggregated cohort, ``count`` objects for a block
-    realised with ``model="individual"``.
+    Object indices align with the realised ``session.receivers``: the
+    ``decl.receivers`` individuals first, then each population block.  How
+    many objects a block realised as depends on its model (``count``
+    individuals, ``cohorts`` per-cohort objects, one vector receiver per
+    edge router), so the mapping reads the session's recorded
+    ``block_slices`` instead of re-deriving the arithmetic.
     """
     attackers: Dict[int, bool] = {index: False for index in decl.attacker_indices()}
-    adversarial = set(decl.adversarial_blocks())
-    offset = decl.receivers
-    for block_index, block in enumerate(decl.population):
-        width = block.count if block.model == "individual" else 1
-        if block_index in adversarial:
-            for object_index in range(offset, offset + width):
-                attackers[object_index] = True
-        offset += width
+    for block_index in decl.adversarial_blocks():
+        start, stop = session.block_slices[block_index]
+        for object_index in range(start, stop):
+            attackers[object_index] = True
     return attackers
 
 
@@ -224,7 +222,7 @@ def collect_protection_metrics(
     # block is honest unless it carries its own attack declaration.
     honest_rates = []
     for decl, session in zip(spec.sessions, scenario.sessions):
-        attacked = _attacker_object_indices(decl)
+        attacked = _attacker_object_indices(decl, session)
         for index, receiver in enumerate(session.receivers):
             if index not in attacked:
                 honest_rates.append(
@@ -234,7 +232,7 @@ def collect_protection_metrics(
 
     sessions: Dict[str, Any] = {}
     for decl, session in zip(spec.sessions, scenario.sessions):
-        attackers = _attacker_object_indices(decl)
+        attackers = _attacker_object_indices(decl, session)
         onset = session_onsets.get(decl.session_id)
         if not attackers or onset is None:
             continue

@@ -30,6 +30,12 @@ per edge interface; see ``docs/scale.md``):
   protection grid; :func:`run_scale_protection_sweep` fans the full grid
   through the parallel :class:`~repro.experiments.runner.ExperimentRunner`
   (see ``examples/attack_at_scale.py``).
+* ``scale-dumbbell-1m`` — the columnar-engine flagship: a 1,000,000-receiver
+  honest audience split across thousands of cohort rows on a generated
+  multi-edge dumbbell, with an adversarial inflated-join population riding
+  the same edges — both realised as ``model="vector"`` blocks advanced one
+  array pass per slot by the :mod:`~repro.multicast_cc.population` engine
+  (completes on one CPU inside the 5-minute CI scale-smoke budget).
 
 Builders accept ``model="individual"`` to realise the same spec with
 per-object receivers — the reference the equivalence tests and the
@@ -50,6 +56,7 @@ from .spec import CohortDecl, ScenarioSpec, SessionDecl
 
 __all__ = [
     "scale_dumbbell_spec",
+    "scale_dumbbell_1m_spec",
     "scale_overhead_spec",
     "attack_inflated_100k_spec",
     "attack_churn_flash_crowd_spec",
@@ -64,6 +71,7 @@ def scale_dumbbell_spec(
     attack_start_s: float = 10.0,
     duration_s: Optional[float] = 30.0,
     model: str = "cohort",
+    cohorts: Optional[int] = None,
     config: ExperimentConfig = PAPER_DEFAULTS,
 ) -> ScenarioSpec:
     """Inflated-subscription duel against a ``receivers``-strong audience.
@@ -73,7 +81,9 @@ def scale_dumbbell_spec(
     ``receivers`` members, and an ``attacker`` session whose single
     individual receiver mounts the paper's default inflated-subscription
     stack from ``attack_start_s`` — few attackers, many honest receivers,
-    exactly the paper's threat model at scale.
+    exactly the paper's threat model at scale.  ``cohorts`` splits the
+    audience into that many cohort rows (the axis the columnar-engine
+    benchmark sweeps); ``None`` keeps the single-cohort legacy shape.
     """
     return ScenarioSpec(
         name="scale-dumbbell-10k",
@@ -83,7 +93,7 @@ def scale_dumbbell_spec(
             SessionDecl(
                 "audience",
                 receivers=0,
-                population=(CohortDecl(receivers, model=model),),
+                population=(CohortDecl(receivers, model=model, cohorts=cohorts),),
             ),
             SessionDecl(
                 "attacker",
@@ -102,6 +112,78 @@ register_scenario(
     "Inflated-subscription attack against a 10,000-receiver cohort audience "
     "on the paper's dumbbell (population-weighted protection metrics)",
 )(scale_dumbbell_spec)
+
+
+def scale_dumbbell_1m_spec(
+    receivers: int = 1_000_000,
+    cohorts: int = 4_096,
+    attackers: int = 10_000,
+    attacker_cohorts: int = 64,
+    edges: int = 32,
+    protected: bool = True,
+    attack_start_s: float = 8.0,
+    intensity: float = 1.0,
+    duration_s: Optional[float] = 20.0,
+    config: ExperimentConfig = PAPER_DEFAULTS,
+) -> ScenarioSpec:
+    """The million-receiver duel on a generated multi-edge dumbbell.
+
+    An ``audience`` session of ``receivers`` honest members split across
+    ``cohorts`` cohort rows and an ``attackers`` session mounting the
+    inflated-join strategy from ``attack_start_s`` share one fair-share-sized
+    bottleneck feeding ``edges`` edge routers.  Both populations are
+    ``model="vector"`` blocks: the columnar engine round-robins the cohort
+    rows over the edge routers and advances each edge's block through the
+    array-form decision rules in one pass per slot, so the Python object
+    count scales with ``edges`` — not ``cohorts``, and certainly not
+    ``receivers``.  That is what lets a 1M-receiver scenario finish on one
+    CPU inside the CI scale-smoke budget (see ``docs/scale.md``).
+    """
+    return ScenarioSpec(
+        name="scale-dumbbell-1m",
+        protected=protected,
+        expected_sessions=2,
+        topology="multi-edge-dumbbell",
+        topology_params={
+            "edges": edges,
+            "bottleneck_bandwidth_bps": 2 * config.fair_share_bps,
+        },
+        sessions=(
+            SessionDecl(
+                "audience",
+                receivers=0,
+                population=(
+                    CohortDecl(receivers, model="vector", cohorts=cohorts),
+                ),
+            ),
+            SessionDecl(
+                "attackers",
+                receivers=0,
+                population=(
+                    CohortDecl(
+                        attackers,
+                        model="vector",
+                        cohorts=attacker_cohorts,
+                        attack=AttackSpec(
+                            "inflated-join",
+                            start_s=attack_start_s,
+                            intensity=intensity,
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        duration_s=duration_s,
+        config=config,
+    )
+
+
+register_scenario(
+    "scale-dumbbell-1m",
+    "Inflated-join attacker population against a 1,000,000-receiver honest "
+    "audience on a 32-edge dumbbell — thousands of cohort rows advanced by "
+    "the columnar population engine in one array pass per slot",
+)(scale_dumbbell_1m_spec)
 
 
 def scale_overhead_spec(

@@ -43,11 +43,23 @@ class CohortDecl:
       amortised over the population (sessions scale to 100k+ receivers);
     * ``"individual"`` — ``count`` ordinary per-object receivers, the
       reference realisation the equivalence tests and the scale benchmark
-      compare against.
+      compare against;
+    * ``"vector"`` — the columnar engine
+      (:mod:`~repro.multicast_cc.vector`): the block's cohorts become rows
+      of a :class:`~repro.multicast_cc.population.PopulationTable` block,
+      one vectorised receiver per edge router instead of one object per
+      cohort (sessions scale past 1M receivers).
+
+    ``cohorts`` splits the block's ``count`` members into that many
+    homogeneous cohorts (as even as possible; ``None`` means one).  With
+    ``model="cohort"`` each becomes its own per-cohort receiver object —
+    the reference path the columnar benchmark measures against — while
+    ``model="vector"`` packs them as rows of per-edge columnar blocks.
 
     ``router`` optionally pins the cohort to a named edge router (default:
-    the topology's round-robin receiver placement); ``start_s`` is the
-    members' shared join time.
+    the topology's round-robin receiver placement — for ``"vector"`` the
+    cohorts are spread round-robin *across* the receiver edge routers);
+    ``start_s`` is the members' shared join time.
 
     ``attack`` makes the block an **adversarial cohort**: every member
     mounts the declared strategy (batch-exact strategies only —
@@ -67,22 +79,39 @@ class CohortDecl:
     model: str = "cohort"
     attack: Optional[AttackSpec] = None
     churn: Optional[ChurnProcess] = None
+    cohorts: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.count < 1:
             raise ValueError("a cohort needs at least one receiver")
-        if self.model not in ("cohort", "individual"):
+        if self.model not in ("cohort", "individual", "vector"):
             raise ValueError(f"unknown receiver model {self.model!r}")
+        if self.cohorts is not None:
+            if self.cohorts < 1:
+                raise ValueError("cohorts must be >= 1 when given")
+            if self.cohorts > self.count:
+                raise ValueError(
+                    f"cannot split {self.count} members into {self.cohorts} "
+                    "cohorts (each cohort needs at least one member)"
+                )
+            if self.model == "individual":
+                raise ValueError(
+                    "cohorts only applies to aggregated models; individual "
+                    "receivers are already one object per member"
+                )
         if self.attack is not None and self.attack.strategy not in COHORT_BATCHED_STRATEGIES:
             raise ValueError(
                 f"strategy {self.attack.strategy!r} does not batch exactly over "
                 f"a cohort (batch-exact: {sorted(COHORT_BATCHED_STRATEGIES)}); "
                 "declare individual receivers for randomised attacks"
             )
-        if self.churn is not None and self.model != "cohort":
+        if self.churn is not None and (
+            self.model != "cohort" or (self.cohorts or 1) != 1
+        ):
             raise ValueError(
-                "population churn needs the aggregated cohort model "
-                "(individual receivers cannot arrive or depart dynamically)"
+                "population churn needs a single aggregated cohort "
+                "(individual receivers cannot arrive or depart dynamically, "
+                "and a churn process drives exactly one cohort's membership)"
             )
         if self.churn is not None and self.attack is not None:
             # A churned attacker population would book attack counters with
@@ -106,6 +135,7 @@ class CohortDecl:
             model=payload.get("model", "cohort"),
             attack=AttackSpec.from_dict(attack) if attack is not None else None,
             churn=ChurnProcess.from_dict(churn) if churn is not None else None,
+            cohorts=payload.get("cohorts"),
         )
 
 
@@ -277,10 +307,10 @@ class ScenarioSpec:
         """Plain-data form: nested dataclasses become dicts, tuples lists.
 
         A session's ``population`` key is omitted when empty — and a cohort
-        block's ``attack``/``churn`` keys are omitted when unset — so that
-        the canonical JSON (and therefore every golden digest and cache key)
-        of a spec predating each field is byte-identical to what it always
-        was.
+        block's ``attack``/``churn``/``cohorts`` keys are omitted when unset
+        — so that the canonical JSON (and therefore every golden digest and
+        cache key) of a spec predating each field is byte-identical to what
+        it always was.
         """
         payload = asdict(self)
         payload["topology_params"] = dict(self.topology_params)
@@ -293,6 +323,8 @@ class ScenarioSpec:
                     block.pop("attack", None)
                 if block.get("churn") is None:
                     block.pop("churn", None)
+                if block.get("cohorts") is None:
+                    block.pop("cohorts", None)
         return payload
 
     def to_json(self) -> str:

@@ -10,10 +10,13 @@
 * :mod:`repro.multicast_cc.session` — session descriptions (rates, groups,
   slots) shared by all protocols.
 * :mod:`repro.multicast_cc.decision` — the pure per-slot subscription rules
-  (scalar and batched) shared by both receiver models.
+  (scalar, batched and array-form) shared by all receiver models.
 * :mod:`repro.multicast_cc.cohort` / :mod:`repro.multicast_cc.receiver_model`
   — cohort-aggregated receiver populations and the model abstraction the
   experiment layer composes populations from.
+* :mod:`repro.multicast_cc.population` / :mod:`repro.multicast_cc.vector` —
+  the columnar population engine: every cohort's state as table rows,
+  advanced one array pass per slot (sessions scale past 1M receivers).
 """
 
 from .churn import ChurnProcess
@@ -23,17 +26,22 @@ from .decision import (
     DlDecision,
     attack_target_level,
     churn_phase,
+    churn_phase_array,
     decide_churn,
+    decide_churn_array,
     decide_churn_batch,
     decide_dl,
+    decide_dl_array,
     decide_dl_batch,
     decide_inflated_join,
+    decide_inflated_join_array,
     decide_inflated_join_batch,
     mask_congestion,
     reconstruct_ds_batch,
 )
 from .flid_dl import FlidDlReceiver, FlidDlSender
 from .flid_ds import FlidDsReceiver, FlidDsSender
+from .population import PopulationBlock, PopulationTable, active_backend
 from .receiver_base import LayeredReceiverBase, SlotRecord
 from .receiver_model import (
     AdversarialCohort,
@@ -44,6 +52,7 @@ from .receiver_model import (
 from .replicated import ReplicatedReceiver, ReplicatedSender
 from .sender_base import LayeredSenderBase
 from .session import SessionSpec, fair_level_for_rate
+from .vector import VectorFlidDlReceiver, VectorFlidDsReceiver
 
 #: Shim classes living in .misbehaving, resolved lazily (PEP 562) because the
 #: module subclasses the adversary subsystem's receivers, which in turn build
@@ -71,14 +80,23 @@ __all__ = [
     "DlDecision",
     "attack_target_level",
     "churn_phase",
+    "churn_phase_array",
     "decide_churn",
+    "decide_churn_array",
     "decide_churn_batch",
     "decide_dl",
+    "decide_dl_array",
     "decide_dl_batch",
     "decide_inflated_join",
+    "decide_inflated_join_array",
     "decide_inflated_join_batch",
     "mask_congestion",
     "reconstruct_ds_batch",
+    "PopulationBlock",
+    "PopulationTable",
+    "active_backend",
+    "VectorFlidDlReceiver",
+    "VectorFlidDsReceiver",
     "FlidDlReceiver",
     "FlidDlSender",
     "FlidDsReceiver",

@@ -12,35 +12,53 @@ module extracts it so that the two receiver models share one implementation:
   **batched** form over a columnar state block of ``(count, level)`` rows,
   evaluating each *distinct* subscription level once and sharing the outcome
   across every receiver in the row — per-slot cost O(distinct levels), not
-  O(receivers).
+  O(receivers);
+* the vectorised receivers (:mod:`~repro.multicast_cc.vector`) apply the
+  **array** form (``decide_*_array``) over whole level *columns* of a
+  :class:`~repro.multicast_cc.population.PopulationBlock` — one pass per
+  slot across thousands of cohort rows.  The array functions accept either
+  a numpy ``int64`` array (vectorised numpy path) or any plain integer
+  sequence (per-distinct-level stdlib path) and return the same flavour
+  they were given, so numpy stays optional.
 
-The batched functions are defined to be exactly the scalar function mapped
-over rows (the Hypothesis property tests in
-``tests/multicast_cc/test_decision.py`` assert this), so aggregation can
-never change a trajectory — only amortise its cost.
+The batched and array functions are defined to be exactly the scalar
+function mapped over rows (the Hypothesis properties and the exhaustive
+Commuter-style enumerations in ``tests/multicast_cc/test_decision.py``
+assert this), so aggregation can never change a trajectory — only amortise
+its cost.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.delta.base import ReconstructionResult
+
+try:  # numpy accelerates the array forms but is never required
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback backend
+    _np = None
 
 __all__ = [
     "DlDecision",
     "ChurnAction",
     "decide_dl",
     "decide_dl_batch",
+    "decide_dl_array",
     "reconstruct_ds_batch",
     "merge_rows",
     "attack_target_level",
     "decide_inflated_join",
     "decide_inflated_join_batch",
+    "decide_inflated_join_array",
     "mask_congestion",
     "churn_phase",
+    "churn_phase_array",
     "decide_churn",
     "decide_churn_batch",
+    "decide_churn_array",
 ]
 
 #: One columnar row of a cohort state block: ``(receiver count, level)``.
@@ -109,6 +127,72 @@ def decide_dl_batch(
             cache[level] = decision
         out.append((count, decision))
     return out
+
+
+def _like(levels: Sequence[int], values: List[int]):
+    """Return ``values`` in the flavour of the ``levels`` input column.
+
+    numpy array in → numpy ``int64`` array out; :class:`array.array` in →
+    same-typecode array out; any other sequence → plain list.  Keeping the
+    flavour stable lets a :class:`~repro.multicast_cc.population`
+    block assign the result straight back into its column.
+    """
+    if _np is not None and isinstance(levels, _np.ndarray):
+        return _np.asarray(values, dtype=_np.int64)
+    if isinstance(levels, array):
+        return array(levels.typecode, values)
+    return values
+
+
+def decide_dl_array(
+    levels: Sequence[int],
+    congested: bool,
+    upgrade_authorized: Sequence[int],
+    group_count: int,
+) -> Sequence[int]:
+    """Array-form FLID-DL rule: a whole level column in one pass.
+
+    Semantically ``[decide_dl(level, ...).next_level for level in levels]``
+    — the membership *side effects* of the scalar decision are the caller's
+    to enact from the before/after levels (a uniform block changes as one).
+    numpy input takes the vectorised path; any other integer sequence takes
+    the per-distinct-level stdlib path.  The result has the input's flavour.
+    """
+    if _np is not None and isinstance(levels, _np.ndarray):
+        if congested:
+            return _np.where(levels > 1, levels - 1, levels)
+        targets = levels + 1
+        authorized = _np.fromiter(
+            sorted(upgrade_authorized), dtype=_np.int64, count=len(upgrade_authorized)
+        )
+        eligible = (targets <= group_count) & _np.isin(targets, authorized)
+        return _np.where(eligible, targets, levels)
+    cache: Dict[int, int] = {}
+    out: List[int] = []
+    for level in levels:
+        level = int(level)
+        next_level = cache.get(level)
+        if next_level is None:
+            next_level = decide_dl(
+                level, congested, upgrade_authorized, group_count
+            ).next_level
+            cache[level] = next_level
+        out.append(next_level)
+    return _like(levels, out)
+
+
+def decide_inflated_join_array(
+    levels: Sequence[int], target_level: int
+) -> Sequence[int]:
+    """Array-form frozen-subscription rule: pin every row at the target.
+
+    Semantically ``[decide_inflated_join(level, target).next_level ...]``;
+    since the scalar rule ignores the current level entirely, the array form
+    is a constant column in the input's flavour.
+    """
+    if _np is not None and isinstance(levels, _np.ndarray):
+        return _np.full_like(levels, target_level)
+    return _like(levels, [target_level] * len(levels))
 
 
 def reconstruct_ds_batch(
@@ -236,6 +320,51 @@ def decide_churn(
     return ChurnAction()
 
 
+def churn_phase_array(
+    elapsed_s: Sequence[float], period_s: float, duty: float
+) -> Sequence[bool]:
+    """Array-form churn phase: one cycle evaluation over an elapsed column.
+
+    Semantically ``[churn_phase(e, period_s, duty) for e in elapsed_s]``;
+    numpy input returns a boolean array, any other sequence a list of bools.
+    """
+    if _np is not None and isinstance(elapsed_s, _np.ndarray):
+        period = max(1e-3, period_s)
+        clamped = min(1.0, max(0.0, duty))
+        return (elapsed_s % period) < clamped * period
+    return [churn_phase(float(value), period_s, duty) for value in elapsed_s]
+
+
+def decide_churn_array(
+    phase_high: Sequence[int],
+    was_high: Sequence[int],
+    entitled_level: int,
+    group_count: int,
+    joined: Sequence[int] = (),
+) -> List[ChurnAction]:
+    """Array-form churn rule over parallel phase/previous-phase columns.
+
+    Semantically ``[decide_churn(p, w, ...) for p, w in zip(...)]``.  The
+    action is a structured object (group tuples), so both backends return a
+    list — but each distinct ``(phase, was)`` pair (at most four) is decided
+    once and shared, keeping the pass O(1) in the row count's constant.
+    """
+    if len(phase_high) != len(was_high):
+        raise ValueError(
+            f"phase columns disagree: {len(phase_high)} vs {len(was_high)} rows"
+        )
+    cache: Dict[Tuple[bool, bool], ChurnAction] = {}
+    out: List[ChurnAction] = []
+    for phase, was in zip(phase_high, was_high):
+        key = (bool(phase), bool(was))
+        action = cache.get(key)
+        if action is None:
+            action = decide_churn(key[0], key[1], entitled_level, group_count, joined)
+            cache[key] = action
+        out.append(action)
+    return out
+
+
 def decide_churn_batch(
     rows: Sequence[Row],
     phase_high: bool,
@@ -263,7 +392,14 @@ def decide_churn_batch(
 
 
 def _batch_rows(rows: Sequence[Row], decide: Callable[[int], Any]) -> List[Tuple[int, Any]]:
-    """Map a per-level decision over rows, evaluating each level once."""
+    """Map a per-level decision over rows, evaluating each level once.
+
+    Ordering guarantee: the output preserves the input row order exactly
+    (row *i* of the result pairs row *i* of the input with its decision);
+    ``decide`` is invoked in first-appearance order of the distinct levels.
+    Downstream booking code relies on this — enactment order is the row
+    order the caller chose, never a hash order.
+    """
     cache: Dict[int, Any] = {}
     out: List[Tuple[int, Any]] = []
     for count, level in rows:
@@ -278,10 +414,15 @@ def _batch_rows(rows: Sequence[Row], decide: Callable[[int], Any]) -> List[Tuple
 def merge_rows(rows: Sequence[Row]) -> List[Row]:
     """Coalesce rows that landed on the same level (state block compaction).
 
-    Order follows first appearance of each level, so a homogeneous cohort
-    stays a single row forever.
+    Ordering guarantee: the merge is **stable by level** — counts for equal
+    levels are summed in input order and the result is sorted by ascending
+    level, so two row blocks with the same per-level populations merge to
+    the *identical* list regardless of how their rows were ordered.  The
+    columnar population engine relies on this for deterministic booking
+    order; a homogeneous cohort (one distinct level) stays a single row
+    forever either way.
     """
     counts: Dict[int, int] = {}
     for count, level in rows:
         counts[level] = counts.get(level, 0) + count
-    return [(count, level) for level, count in counts.items()]
+    return [(counts[level], level) for level in sorted(counts)]

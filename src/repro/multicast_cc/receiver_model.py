@@ -1,7 +1,7 @@
 """The receiver-model abstraction: how a session's population is realised.
 
 A :class:`ReceiverModel` is the unit the experiment layer composes a
-session's receiver population from.  Two implementations exist:
+session's receiver population from:
 
 * :class:`IndividualReceiver` — the historical default: one live receiver
   object (host + IGMP/SIGMA interface + FLID state machine) per end system.
@@ -13,6 +13,11 @@ session's receiver population from.  Two implementations exist:
 * :class:`AdversarialCohort` — a :class:`ReceiverCohort` whose members mount
   a batch-exact attack stack (:mod:`repro.adversary.cohort`); the protection
   metrics weight its excess goodput by the attacker population.
+
+The columnar engine's vectorised receivers
+(:mod:`~repro.multicast_cc.vector`) are cohort subclasses and wrap into the
+same :class:`ReceiverCohort` / :class:`AdversarialCohort` models — one model
+per edge-router block, carrying that block's whole population.
 
 All expose the same small surface — ``population``, the underlying
 ``receiver`` object, per-member and population-weighted goodput — so the

@@ -1,0 +1,186 @@
+"""Vectorised population receivers: many cohorts, one pass per slot.
+
+The per-cohort receivers of :mod:`~repro.multicast_cc.cohort` amortise a
+population over one *object* — which reintroduces O(cohorts) Python work
+per slot once a scenario declares thousands of cohorts (thousands of slot
+timers, interfaces and per-object decision pipelines).  The vectorised
+receivers collapse that: **one receiver per edge router** carries every
+cohort placed there as rows of a
+:class:`~repro.multicast_cc.population.PopulationBlock`, and each slot
+advances the whole block through the array-form rules of
+:mod:`~repro.multicast_cc.decision` (``decide_dl_array`` and friends) in a
+single pass — O(edge routers) Python objects however many cohorts the
+population splits into.
+
+The block shares one host/IGMP/SIGMA interface, so the cohort model's
+*homogeneity invariant* applies block-wide: every row must sit at the same
+subscription level (``PopulationBlock.require_uniform``, the columnar
+analogue of the cohort's single-row guard).  That is guaranteed by
+construction for the populations the spec layer admits — honest rows (or a
+batch-exact attack stack) behind one router with one start time and
+lossless access links all observe the same slots, so the deterministic
+rules keep the level column uniform forever — and the guard fails loudly if
+a future change breaks it.
+
+Exactness therefore reduces to the cohort contract (``docs/scale.md``):
+``tests/experiments/test_vector_equivalence.py`` asserts vector == cohort
+== individual trajectories and counters for small N, on both column
+backends.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..simulator.node import Host
+from ..simulator.topology import Network
+from .cohort import CohortFlidDlReceiver, CohortFlidDsReceiver, _require_single_row
+from .decision import decide_dl, decide_dl_array
+from .population import PopulationBlock, PopulationTable
+from .receiver_base import SlotRecord
+from .session import SessionSpec
+
+__all__ = ["VectorFlidDlReceiver", "VectorFlidDsReceiver"]
+
+
+class _VectorBlockSupport:
+    """Columnar-block plumbing shared by both vectorised receivers."""
+
+    _block: PopulationBlock
+
+    def _init_block(
+        self, table: PopulationTable, router: str, counts: Sequence[int]
+    ) -> None:
+        """Allocate this receiver's rows in the scenario's population table."""
+        self._block = table.allocate(router, self.spec.session_id, counts)
+
+    def attach_churn(self, process) -> None:
+        """Vector blocks cannot churn (a churn process drives one cohort).
+
+        The churn bookkeeping rewrites a single cohort's row and host
+        weight; a multi-row block has no well-defined row to grow or
+        shrink.  Declare the churned audience as its own ``model="cohort"``
+        block next to the vectorised steady population.
+        """
+        raise ValueError(
+            "vector population blocks cannot churn; declare the churned "
+            "audience as a separate model=\"cohort\" block"
+        )
+
+    def state_rows(self) -> List[Tuple[int, int]]:
+        """The block's ``(count, level)`` rows — per-cohort granularity."""
+        return self._block.rows()
+
+    def _sync_block(self) -> None:
+        """Write the enacted (merged, single-row) level back to the column."""
+        _require_single_row(self._rows)
+        self._block.set_levels(int(self._rows[0][1]))
+
+
+class VectorFlidDlReceiver(_VectorBlockSupport, CohortFlidDlReceiver):
+    """FLID-DL receiver carrying every cohort at one edge router, columnar.
+
+    ``counts`` lists the member count of each cohort row; the host stands
+    for their sum.  Each evaluated slot advances the whole level column
+    through :func:`~repro.multicast_cc.decision.decide_dl_array` in one
+    pass, then enacts the (uniform) membership change once through the
+    shared IGMP interface — weighted by the block population at send time.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        spec: SessionSpec,
+        counts: Sequence[int],
+        table: PopulationTable,
+        router: str,
+        bin_width_s: float = 1.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            network,
+            host,
+            spec,
+            population=sum(int(count) for count in counts),
+            bin_width_s=bin_width_s,
+            name=name or f"{spec.session_id}-vector-{host.name}",
+        )
+        self._init_block(table, router, counts)
+
+    def _bootstrap(self) -> None:
+        super()._bootstrap()
+        self._block.set_levels(int(self.level))
+
+    def _apply_decision(self, evaluated_slot: int, record: SlotRecord, congested: bool) -> None:
+        """One array pass over the level column, then one weighted enactment.
+
+        ``decide_dl_array`` is definitionally the scalar rule mapped over
+        the column (the exhaustive tests in
+        ``tests/multicast_cc/test_decision.py`` pin it), so the uniform
+        block moves exactly as each member — and each per-cohort object —
+        would have.
+        """
+        if self.igmp is None:
+            return
+        block = self._block
+        previous = block.require_uniform()
+        block.set_levels(
+            decide_dl_array(
+                block.levels(), congested, record.upgrade_groups, self.spec.group_count
+            )
+        )
+        block.require_uniform()
+        decision = decide_dl(
+            previous, congested, record.upgrade_groups, self.spec.group_count
+        )
+        self._rows = [(self.population, decision.next_level)]
+        self._enact(evaluated_slot, decision)
+
+
+class VectorFlidDsReceiver(_VectorBlockSupport, CohortFlidDsReceiver):
+    """FLID-DS receiver carrying every cohort at one edge router, columnar.
+
+    The protected per-slot pipeline (entitlement schedule, one DELTA
+    reconstruction, one ``member_count``-stamped subscription message) is
+    already O(1) in the row count because the entitlement is uniform across
+    the block; this class keeps the level column of the population table in
+    lockstep with it, so ``state_rows`` stays per-cohort and the uniformity
+    guard covers the protected variant too.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        spec: SessionSpec,
+        counts: Sequence[int],
+        table: PopulationTable,
+        router: str,
+        key_bits: int = 16,
+        bin_width_s: float = 1.0,
+        name: str = "",
+    ) -> None:
+        super().__init__(
+            network,
+            host,
+            spec,
+            population=sum(int(count) for count in counts),
+            key_bits=key_bits,
+            bin_width_s=bin_width_s,
+            name=name or f"{spec.session_id}-vector-{host.name}",
+        )
+        self._init_block(table, router, counts)
+
+    def _join_session(self) -> None:
+        super()._join_session()
+        self._block.set_levels(1)
+
+    def _apply_decision(self, evaluated_slot: int, record: SlotRecord, congested: bool) -> None:
+        """Run the cohort DS pipeline once for the block, then sync columns."""
+        if self.sigma is None:
+            return
+        level = self._block.require_uniform()
+        self._rows = [(self.population, level)]
+        super()._apply_decision(evaluated_slot, record, congested)
+        self._sync_block()

@@ -45,6 +45,7 @@ from .topology import (
     build_topology,
     binary_tree_topology,
     dumbbell_topology,
+    multi_edge_dumbbell_topology,
     parking_lot_topology,
     star_topology,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "build_topology",
     "binary_tree_topology",
     "dumbbell_topology",
+    "multi_edge_dumbbell_topology",
     "parking_lot_topology",
     "star_topology",
     "MULTICAST_BASE",

@@ -531,6 +531,57 @@ def star_topology(
     )
 
 
+def multi_edge_dumbbell_topology(
+    edges: int = 8,
+    bottleneck_bandwidth_bps: float = 1_000_000.0,
+    bottleneck_delay_s: float = 0.020,
+    edge_bandwidth_bps: float = 10_000_000.0,
+    edge_delay_s: float = 0.005,
+    access_bandwidth_bps: float = 10_000_000.0,
+    access_delay_s: float = 0.010,
+    buffer_bdp_multiple: float = 2.0,
+) -> TopologySpec:
+    """A dumbbell whose right side fans out into ``edges`` edge routers.
+
+    Senders attach at ``left``; one shared ``left``–``core`` bottleneck
+    carries the session, and ``edges`` fat (non-bottleneck) distribution
+    links fan out from ``core`` to the receiver edge routers.  Every edge
+    router runs its own group manager, so this is the shape the columnar
+    population engine spreads a very large audience over: one packet copy
+    crosses the bottleneck, ``edges`` copies leave the core — receivers
+    behind each edge still share a single access interface per block.
+    """
+    if edges < 1:
+        raise ValueError("multi-edge dumbbell needs at least one edge router")
+    edge_names = tuple(f"edge{i + 1}" for i in range(edges))
+    path_rtt_s = 2.0 * (2.0 * access_delay_s + bottleneck_delay_s + edge_delay_s)
+    bottleneck_buffer = _chain_buffer_bytes(
+        bottleneck_bandwidth_bps, path_rtt_s, buffer_bdp_multiple
+    )
+    edge_buffer = _chain_buffer_bytes(edge_bandwidth_bps, path_rtt_s, buffer_bdp_multiple)
+    links = (
+        LinkSpec(
+            "left",
+            "core",
+            bottleneck_bandwidth_bps,
+            bottleneck_delay_s,
+            buffer_bytes=bottleneck_buffer,
+        ),
+    ) + tuple(
+        LinkSpec("core", edge, edge_bandwidth_bps, edge_delay_s, buffer_bytes=edge_buffer)
+        for edge in edge_names
+    )
+    return TopologySpec(
+        kind="multi-edge-dumbbell",
+        routers=("left", "core") + edge_names,
+        links=links,
+        sender_routers=("left",),
+        receiver_routers=edge_names,
+        access_bandwidth_bps=access_bandwidth_bps,
+        access_delay_s=access_delay_s,
+    )
+
+
 def binary_tree_topology(
     depth: int = 3,
     link_bandwidth_bps: float = 1_000_000.0,
@@ -579,6 +630,7 @@ TOPOLOGIES: Dict[str, Callable[..., TopologySpec]] = {
     "dumbbell": dumbbell_topology,
     "parking-lot": parking_lot_topology,
     "star": star_topology,
+    "multi-edge-dumbbell": multi_edge_dumbbell_topology,
     "binary-tree": binary_tree_topology,
 }
 

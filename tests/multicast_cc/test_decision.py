@@ -6,24 +6,34 @@ reconstruction invoked at most once per distinct level.  Hypothesis drives
 arbitrary row blocks, congestion flags and upgrade-authorisation sets.
 """
 
+import itertools
+from array import array
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.delta import LayeredDeltaReceiver
 from repro.core.delta.base import ReceiverSlotObservation
 from repro.multicast_cc.decision import (
+    _batch_rows,
     attack_target_level,
     churn_phase,
+    churn_phase_array,
     decide_churn,
+    decide_churn_array,
     decide_churn_batch,
     decide_dl,
+    decide_dl_array,
     decide_dl_batch,
     decide_inflated_join,
+    decide_inflated_join_array,
     decide_inflated_join_batch,
     mask_congestion,
     merge_rows,
     reconstruct_ds_batch,
 )
+from repro.multicast_cc.population import numpy_available
 
 GROUP_COUNT = 10
 
@@ -185,6 +195,155 @@ def test_churn_batch_equals_scalar_map(rows, phase_high, was_high, entitled, joi
     scalar = decide_churn(phase_high, was_high, entitled, GROUP_COUNT, sorted(joined))
     for _count, action in outcomes:
         assert action == scalar
+
+
+# ----------------------------------------------------------------------
+# array forms: array == batch == N x scalar, in every column flavour
+# ----------------------------------------------------------------------
+def _flavours(values):
+    """The same integer column in every backend flavour the rules accept."""
+    out = [("list", list(values)), ("array", array("q", values))]
+    if numpy_available():
+        import numpy as np
+
+        out.append(("numpy", np.asarray(list(values), dtype=np.int64)))
+    return out
+
+
+#: Exhaustive small-model bounds (Commuter-style): every (count, level,
+#: congested, upgrade-set) tuple below these bounds is enumerated outright.
+EXHAUSTIVE_COUNTS = (1, 2, 3)
+EXHAUSTIVE_UPGRADE_POOL = (1, 2, 3, GROUP_COUNT, GROUP_COUNT + 1)
+
+
+def _upgrade_subsets():
+    for size in range(len(EXHAUSTIVE_UPGRADE_POOL) + 1):
+        for subset in itertools.combinations(EXHAUSTIVE_UPGRADE_POOL, size):
+            yield frozenset(subset)
+
+
+def test_dl_array_exhaustive_small_model():
+    """Every small (count, level, congested, upgrades) tuple, all flavours.
+
+    Enumerates the full cross product below the exhaustive bounds and checks
+    the three realisations agree pointwise: the array form, the batched form
+    and N independent scalar decisions.  This is the columnar engine's
+    exactness contract at its definitional root.
+    """
+    levels = list(range(0, GROUP_COUNT + 1))
+    for congested, upgrades in itertools.product(
+        (False, True), _upgrade_subsets()
+    ):
+        scalar = [
+            decide_dl(level, congested, upgrades, GROUP_COUNT).next_level
+            for level in levels
+        ]
+        for count in EXHAUSTIVE_COUNTS:
+            rows = [(count, level) for level in levels]
+            batched = decide_dl_batch(rows, congested, upgrades, GROUP_COUNT)
+            assert [d.next_level for _, d in batched] == scalar
+        for flavour, column in _flavours(levels):
+            result = decide_dl_array(column, congested, upgrades, GROUP_COUNT)
+            assert [int(v) for v in result] == scalar, flavour
+            assert type(result) is type(column)
+
+
+@given(rows=rows_strategy, congested=st.booleans(), upgrades=upgrades_strategy)
+def test_dl_array_equals_scalar_map(rows, congested, upgrades):
+    """Arbitrary level columns: the array rule is the scalar map, pointwise."""
+    levels = [level for _, level in rows]
+    expected = [
+        decide_dl(level, congested, upgrades, GROUP_COUNT).next_level
+        for level in levels
+    ]
+    for flavour, column in _flavours(levels):
+        result = decide_dl_array(column, congested, upgrades, GROUP_COUNT)
+        assert [int(v) for v in result] == expected, flavour
+
+
+@given(rows=rows_strategy, target=st.integers(min_value=1, max_value=GROUP_COUNT))
+def test_inflated_join_array_equals_scalar_map(rows, target):
+    """The array pin rule equals the scalar rule in every flavour."""
+    levels = [level for _, level in rows]
+    expected = [decide_inflated_join(level, target).next_level for level in levels]
+    for flavour, column in _flavours(levels):
+        result = decide_inflated_join_array(column, target)
+        assert [int(v) for v in result] == expected, flavour
+        assert type(result) is type(column)
+
+
+@given(
+    elapsed=st.lists(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=8
+    ),
+    period=st.floats(min_value=1e-3, max_value=100.0, allow_nan=False),
+    duty=st.floats(min_value=-1.0, max_value=2.0, allow_nan=False),
+)
+def test_churn_phase_array_equals_scalar_map(elapsed, period, duty):
+    """The array churn-phase rule equals the scalar cycle, element-wise."""
+    expected = [churn_phase(value, period, duty) for value in elapsed]
+    assert churn_phase_array(elapsed, period, duty) == expected
+    if numpy_available():
+        import numpy as np
+
+        result = churn_phase_array(np.asarray(elapsed, dtype=np.float64), period, duty)
+        assert [bool(v) for v in result] == expected
+
+
+def test_churn_array_exhaustive_phase_pairs():
+    """All four (phase, was) transitions, enumerated over small columns."""
+    joined = (1, 2, 5)
+    for entitled in range(0, GROUP_COUNT + 1):
+        for pairs in itertools.product((0, 1), repeat=4):
+            phases = list(pairs)
+            was = list(reversed(pairs))
+            actions = decide_churn_array(
+                phases, was, entitled, GROUP_COUNT, joined
+            )
+            assert actions == [
+                decide_churn(bool(p), bool(w), entitled, GROUP_COUNT, joined)
+                for p, w in zip(phases, was)
+            ]
+
+
+def test_churn_array_rejects_mismatched_columns():
+    with pytest.raises(ValueError, match="disagree"):
+        decide_churn_array([1, 0], [1], 2, GROUP_COUNT)
+
+
+# ----------------------------------------------------------------------
+# ordering guarantees: merge_rows and _batch_rows
+# ----------------------------------------------------------------------
+@given(rows=rows_strategy)
+def test_merge_rows_is_sorted_and_permutation_stable(rows):
+    """Merged rows come out ascending by level, identically for any input order."""
+    merged = merge_rows(rows)
+    levels = [level for _, level in merged]
+    assert levels == sorted(levels)
+    assert merge_rows(list(reversed(rows))) == merged
+
+
+def test_merge_rows_sums_counts_in_input_order():
+    """Equal-level counts coalesce; the result is the sorted per-level sums."""
+    rows = [(3, 2), (1, 0), (4, 2), (2, 7)]
+    assert merge_rows(rows) == [(1, 0), (7, 2), (2, 7)]
+
+
+@given(rows=rows_strategy)
+def test_batch_rows_preserves_row_order_and_first_appearance(rows):
+    """Row i of the output pairs row i of the input; levels decided in
+    first-appearance order (the booking-order contract of the docstring)."""
+    calls = []
+
+    def decide(level):
+        calls.append(level)
+        return ("decision", level)
+
+    out = _batch_rows(rows, decide)
+    assert [count for count, _ in out] == [count for count, _ in rows]
+    assert [d for _, d in out] == [("decision", level) for _, level in rows]
+    first_appearance = list(dict.fromkeys(level for _, level in rows))
+    assert calls == first_appearance
 
 
 @given(

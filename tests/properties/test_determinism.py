@@ -56,6 +56,23 @@ def cohort_spec() -> ScenarioSpec:
     )
 
 
+def vector_spec() -> ScenarioSpec:
+    """Columnar vector blocks on a multi-edge dumbbell (PR 6 surface)."""
+    from repro.experiments import scale_dumbbell_1m_spec
+
+    spec = scale_dumbbell_1m_spec(
+        receivers=600,
+        cohorts=12,
+        attackers=40,
+        attacker_cohorts=8,
+        edges=4,
+        duration_s=6.0,
+        attack_start_s=2.0,
+        config=FAST_CONFIG,
+    )
+    return spec
+
+
 def parking_lot_spec() -> ScenarioSpec:
     return ScenarioSpec(
         name="determinism-parking-lot",
@@ -68,7 +85,9 @@ def parking_lot_spec() -> ScenarioSpec:
     )
 
 
-@pytest.mark.parametrize("make_spec", [dumbbell_spec, cohort_spec, parking_lot_spec])
+@pytest.mark.parametrize(
+    "make_spec", [dumbbell_spec, cohort_spec, vector_spec, parking_lot_spec]
+)
 def test_identical_spec_and_seed_reproduce_byte_identical_results(make_spec):
     """Two in-process executions of the same spec serialise identically."""
     first = run_spec_json(make_spec().to_json())
@@ -101,6 +120,21 @@ def test_serial_and_parallel_paths_agree_for_cohort_specs():
     parallel = ExperimentRunner(jobs=2).run_seed_sweep(cohort_spec(), seeds)
     assert [r.to_json() for r in serial] == [r.to_json() for r in parallel]
     assert serial[0].metrics["multicast"]["audience"]["population"] == 400
+
+
+def test_serial_and_parallel_paths_agree_for_vector_specs():
+    """Columnar vector blocks survive the worker-process round trip.
+
+    The block allocation order, the round-robin row placement over the edge
+    routers and the bulk booking order are all deterministic functions of
+    the spec, so the process-pool path must be byte-identical to the serial
+    one — on either column backend.
+    """
+    seeds = (0, 1)
+    serial = ExperimentRunner(jobs=1).run_seed_sweep(vector_spec(), seeds)
+    parallel = ExperimentRunner(jobs=2).run_seed_sweep(vector_spec(), seeds)
+    assert [r.to_json() for r in serial] == [r.to_json() for r in parallel]
+    assert serial[0].metrics["multicast"]["audience"]["population"] == 600
 
 
 def attack_grid_specs():

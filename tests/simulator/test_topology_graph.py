@@ -12,6 +12,7 @@ from repro.simulator import (
     binary_tree_topology,
     build_topology,
     dumbbell_topology,
+    multi_edge_dumbbell_topology,
     parking_lot_topology,
     star_topology,
 )
@@ -63,7 +64,13 @@ class TestTopologySpecValidation:
 
 class TestFactories:
     def test_registry_names(self):
-        assert set(TOPOLOGIES) == {"dumbbell", "parking-lot", "star", "binary-tree"}
+        assert set(TOPOLOGIES) == {
+            "dumbbell",
+            "parking-lot",
+            "star",
+            "binary-tree",
+            "multi-edge-dumbbell",
+        }
 
     def test_dumbbell_factory_matches_config(self):
         config = DumbbellConfig(bottleneck_bandwidth_bps=2e6)
@@ -92,6 +99,19 @@ class TestFactories:
         assert len(spec.links) == 6
         assert spec.sender_routers == ("t0",)
         assert spec.receiver_routers == ("t3", "t4", "t5", "t6")  # the leaves
+
+    def test_multi_edge_dumbbell_shape(self):
+        spec = multi_edge_dumbbell_topology(edges=3)
+        assert spec.routers == ("left", "core", "edge1", "edge2", "edge3")
+        assert len(spec.links) == 4  # bottleneck + one fat link per edge
+        assert spec.sender_routers == ("left",)
+        assert spec.receiver_routers == ("edge1", "edge2", "edge3")
+        bottleneck = spec.links[0]
+        assert {bottleneck.a, bottleneck.b} == {"left", "core"}
+        # The fan-out links must never be the scarce resource.
+        assert all(
+            link.bandwidth_bps > bottleneck.bandwidth_bps for link in spec.links[1:]
+        )
 
     def test_build_topology_by_name(self):
         assert build_topology("star", arms=2).kind == "star"

@@ -52,6 +52,9 @@ SCOPED: Tuple[str, ...] = (
     "adversary/cohort.py",
     "multicast_cc/decision.py",
     "multicast_cc/churn.py",
+    "multicast_cc/population.py",
+    "multicast_cc/vector.py",
+    "adversary/vector.py",
 )
 
 

@@ -114,6 +114,16 @@ def _headline(lines: List[str]) -> None:
                 f"({_fmt(cohort.get('receivers_per_sec'))} rx/s; floor "
                 f"{_fmt(speedup.get('min_speedup'))}×) | `BENCH_scale.json` |"
             )
+        columnar = metrics.get("columnar_speedup", {})
+        if columnar:
+            lines.append(
+                f"| Columnar vs per-cohort-object receivers/s "
+                f"({_fmt(columnar.get('cohort_object_cap'))} cohorts, "
+                f"{_fmt(columnar.get('total_receivers'))} audience) | "
+                f"{_fmt(columnar.get('speedup_at_cap_cohorts'))}× "
+                f"(floor {_fmt(columnar.get('min_speedup'))}×, "
+                f"`{columnar.get('backend')}` backend) | `BENCH_scale.json` |"
+            )
         protection = metrics.get("protection_at_scale", {})
         if protection:
             lines.append(
