@@ -99,7 +99,12 @@ def _merge_top_level(key: str, value: dict, source: pathlib.Path) -> None:
     payload["bench"] = "scale"
     # Keep only known blocks, so a legacy flat-format document (or a block
     # renamed away) cannot leave stale rows in the anchor forever.
-    known = ("cohort_speedup", "protection_at_scale", "columnar_speedup")
+    known = (
+        "cohort_speedup",
+        "protection_at_scale",
+        "columnar_speedup",
+        "sharding_speedup",
+    )
     payload["metrics"] = {
         k: v for k, v in payload.get("metrics", {}).items() if k in known
     }

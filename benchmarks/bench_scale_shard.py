@@ -1,0 +1,128 @@
+"""Scale benchmark: region-sharded execution of the 10M-receiver flagship.
+
+The sharding claim (``docs/scale.md``) is twofold:
+
+* **Determinism** — running the ``scale-dumbbell-10m`` scenario's regions
+  serially in-process and on the :class:`~concurrent.futures.
+  ProcessPoolExecutor` must produce byte-identical merged results (the
+  serial == sharded contract of ``docs/determinism.md``).
+* **Speedup** — the regions are independent, so with enough CPUs the wall
+  time approaches the slowest single region.  The benchmark records the
+  *ideal* speedup (serial wall over the slowest region's wall — a pure
+  property of the partition, measurable on any machine) and asserts it is
+  at least ``MIN_SPEEDUP``× (2×); the *measured* pool speedup is recorded
+  always but only enforced when the machine actually has ``MIN_CPUS``+
+  cores — on a 1-CPU CI sandbox the pool cannot beat serial and the
+  measured ratio is reported as informational.
+
+Results land in ``benchmarks/results/BENCH_scale_sharding.json`` and merge
+into the top-level ``BENCH_scale.json`` trajectory anchor as the
+``sharding_speedup`` block (rendered by ``tools/gen_bench_gallery.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from bench_scale_cohort import _merge_top_level
+
+from repro.experiments import ExperimentRunner, scale_dumbbell_10m_spec
+from repro.experiments.shard import (
+    merge_region_results,
+    plan_shards,
+    region_payloads,
+    run_region_json,
+)
+
+#: Regression floor on the *ideal* speedup (serial wall / slowest region
+#: wall) and, on machines with >= MIN_CPUS cores, on the measured pool
+#: speedup too.
+MIN_SPEEDUP = 2.0
+
+#: Cores needed before the measured pool speedup is enforced as a floor.
+MIN_CPUS = 4
+
+#: Pool width for the measured leg (the flagship scenario has 8 regions).
+POOL_JOBS = 4
+
+#: Acceptance budget for each full 10M-receiver leg (the ISSUE's CI bound).
+BUDGET_S = 300.0
+
+
+def test_sharded_10m_speedup_and_determinism(bench_record):
+    """scale-dumbbell-10m: serial == pool bytes, region partition >= 2x."""
+    spec = scale_dumbbell_10m_spec()
+    population = sum(session.total_population() for session in spec.sessions)
+    plan = plan_shards(spec)
+
+    # Serial leg: one region after another in this process, recording each
+    # region's own wall time (the merge drops it from the result document).
+    serial_started = time.perf_counter()
+    documents = [json.loads(run_region_json(p)) for p in region_payloads(plan)]
+    serial = merge_region_results(plan, documents)
+    serial_wall_s = time.perf_counter() - serial_started
+    region_wall_s = [doc["wall_s"] for doc in documents]
+
+    # Pool leg: the runner plans, fans the regions out and merges.
+    pool_started = time.perf_counter()
+    pooled = ExperimentRunner(jobs=POOL_JOBS).run_one(spec)
+    pool_wall_s = time.perf_counter() - pool_started
+
+    assert pooled.to_json() == serial.to_json(), (
+        "serial and pooled sharded runs diverged — the serial == sharded "
+        "byte-determinism contract is broken"
+    )
+
+    cpus = os.cpu_count() or 1
+    ideal_speedup = serial_wall_s / max(max(region_wall_s), 1e-9)
+    measured_speedup = serial_wall_s / max(pool_wall_s, 1e-9)
+    floor_enforced = cpus >= MIN_CPUS
+    boundary = pooled.metrics["boundary"]
+
+    metrics = {
+        "scenario": "scale-dumbbell-10m",
+        "receivers": population,
+        "shards": spec.shards,
+        "serial_wall_s": serial_wall_s,
+        "pool_wall_s": pool_wall_s,
+        "region_wall_s": region_wall_s,
+        "ideal_speedup": ideal_speedup,
+        "measured_speedup": measured_speedup,
+        "min_speedup": MIN_SPEEDUP,
+        "cpus": cpus,
+        "pool_jobs": POOL_JOBS,
+        "measured_floor_enforced": floor_enforced,
+        "budget_s": BUDGET_S,
+        "receivers_per_sec": population / pool_wall_s if pool_wall_s > 0 else 0.0,
+        "serial_equals_pool": True,
+        "boundary_events": boundary["events"],
+        "boundary_digest": boundary["digest"],
+    }
+    path = bench_record(metrics, name="scale_sharding")
+    _merge_top_level("sharding_speedup", metrics, path)
+
+    print(
+        f"\nsharded 10M: {population:,} receivers over {spec.shards} regions\n"
+        f"serial: {serial_wall_s:.2f}s  pool({POOL_JOBS}): {pool_wall_s:.2f}s  "
+        f"slowest region: {max(region_wall_s):.2f}s\n"
+        f"ideal speedup: {ideal_speedup:.1f}x  measured: {measured_speedup:.1f}x "
+        f"({cpus} CPUs, floor {'enforced' if floor_enforced else 'informational'})\n"
+        f"boundary events: {boundary['events']:,} (digest {boundary['digest'][:12]}…)"
+    )
+
+    assert serial_wall_s <= BUDGET_S and pool_wall_s <= BUDGET_S, (
+        f"10M-receiver legs took {serial_wall_s:.0f}s serial / "
+        f"{pool_wall_s:.0f}s pooled (budget {BUDGET_S:.0f}s each)"
+    )
+    assert ideal_speedup >= MIN_SPEEDUP, (
+        f"region partition yields only {ideal_speedup:.2f}x ideal speedup "
+        f"(floor {MIN_SPEEDUP}x) — the slowest region dominates; the "
+        "partition has become unbalanced"
+    )
+    if floor_enforced:
+        assert measured_speedup >= MIN_SPEEDUP, (
+            f"pool delivers only {measured_speedup:.2f}x over serial on "
+            f"{cpus} CPUs (floor {MIN_SPEEDUP}x)"
+        )

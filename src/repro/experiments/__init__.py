@@ -12,7 +12,11 @@ The stack is layered:
   simulator's topology graph layer.
 * :mod:`repro.experiments.runner` — the parallel
   :class:`ExperimentRunner`: spec × seed × parameter grids over a process
-  pool, with JSON result caching.
+  pool, with atomic JSON result caching.
+* :mod:`repro.experiments.shard` — region-sharded execution for 10M+
+  receivers: the planner splitting a ``shards=N`` spec into standalone
+  region sub-scenarios, the region worker, and the deterministic
+  boundary-event merge.
 * :mod:`repro.experiments.figure1` / :mod:`figure8` / :mod:`figure9` — the
   paper's figures, built on the layers above.
 """
@@ -71,11 +75,13 @@ from .scale import (
     attack_inflated_100k_spec,
     run_scale_protection_sweep,
     scale_dumbbell_1m_spec,
+    scale_dumbbell_10m_spec,
     scale_dumbbell_spec,
     scale_overhead_spec,
     scale_protection_spec,
 )
 from .scenario import MulticastSession, Scenario
+from .shard import ShardPlan, merge_region_results, plan_shards, run_region_json
 from ..multicast_cc.churn import ChurnProcess
 
 __all__ = [
@@ -91,6 +97,7 @@ __all__ = [
     "attack_inflated_100k_spec",
     "run_scale_protection_sweep",
     "scale_dumbbell_1m_spec",
+    "scale_dumbbell_10m_spec",
     "scale_dumbbell_spec",
     "scale_overhead_spec",
     "scale_protection_spec",
@@ -133,4 +140,8 @@ __all__ = [
     "run_slot_duration_sweep",
     "MulticastSession",
     "Scenario",
+    "ShardPlan",
+    "merge_region_results",
+    "plan_shards",
+    "run_region_json",
 ]

@@ -14,17 +14,25 @@ tests assert exactly that.
 
 Results can be cached on disk (``cache_dir``): the cache key is the SHA-256
 of the spec's canonical JSON, so a cache hit is definitionally the same
-experiment.
+experiment.  Cache entries are written atomically (tmp sibling +
+``os.replace``) and unparsable entries read as misses, so runners can share
+one cache directory and an interrupted run can never poison later ones.
+
+Specs with ``shards=N`` expand into one job per topology region (planned and
+merged by :mod:`repro.experiments.shard`); region jobs ride the same process
+pool as ordinary specs and the merged result is byte-deterministic across
+the serial and pooled paths, like everything else.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..analysis.protection import (
     combined_containment_s,
@@ -45,6 +53,7 @@ __all__ = [
     "collect_protection_metrics",
     "execute_spec",
     "run_spec_json",
+    "run_job",
 ]
 
 #: Bumped whenever the metric document schema (or what a run means for a
@@ -303,6 +312,23 @@ def run_spec_json(spec_json: str) -> str:
     return execute_spec(ScenarioSpec.from_json(spec_json)).to_json()
 
 
+def run_job(job: Tuple[str, str]) -> str:
+    """Dispatching worker entry point: a ``(kind, payload)`` job in, JSON out.
+
+    ``kind`` is ``"spec"`` (an ordinary spec run through
+    :func:`run_spec_json`) or ``"region"`` (one region of a sharded spec,
+    through :func:`repro.experiments.shard.run_region_json`).  Module-level
+    and built from plain strings so it pickles into pool workers; the shard
+    module is imported lazily to keep the import graph acyclic.
+    """
+    kind, payload = job
+    if kind == "region":
+        from .shard import run_region_json
+
+        return run_region_json(payload)
+    return run_spec_json(payload)
+
+
 # ----------------------------------------------------------------------
 # the runner
 # ----------------------------------------------------------------------
@@ -338,34 +364,111 @@ class ExperimentRunner:
             return None
         return self.cache_dir / f"{self.cache_key(spec)}.json"
 
+    def _read_cached(self, spec: ScenarioSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or ``None`` on a miss.
+
+        A cache entry that cannot be parsed back into a :class:`RunResult`
+        — a file torn by a crash mid-write under the old non-atomic writer,
+        or truncated by a full disk — is treated as a miss (the entry is
+        re-run and atomically overwritten), never as an error: a shared
+        ``cache_dir`` must not be able to poison later runs.
+        """
+        path = self._cache_path(spec)
+        if path is None or not path.exists():
+            return None
+        try:
+            return RunResult.from_json(path.read_text())
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _write_cache(self, spec: ScenarioSpec, output: str) -> None:
+        """Atomically publish ``output`` as the cache entry for ``spec``.
+
+        The document is written to a pid-suffixed ``.tmp`` sibling and
+        :func:`os.replace`-d into place, so concurrent runners sharing one
+        ``cache_dir`` and interrupted runs can never leave a torn entry
+        under the final name — readers see the old state or the whole new
+        document, nothing in between.
+        """
+        path = self._cache_path(spec)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(output)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[ScenarioSpec]) -> List[RunResult]:
-        """Execute every spec, preserving input order in the results."""
+        """Execute every spec, preserving input order in the results.
+
+        Cache lookups happen first; identical pending specs are deduplicated
+        (one execution, one counted miss, the result fanned out to every
+        occurrence).  A spec with ``shards=N`` expands into ``N`` region
+        jobs planned by :mod:`repro.experiments.shard`; region jobs and
+        ordinary specs share one flat job list over the process pool, and
+        each sharded spec's region documents are merged deterministically
+        before caching.
+        """
         specs = list(specs)
         results: List[Optional[RunResult]] = [None] * len(specs)
+        occurrences: Dict[str, List[int]] = {}
         pending: List[int] = []
         for index, spec in enumerate(specs):
-            path = self._cache_path(spec)
-            if path is not None and path.exists():
-                results[index] = RunResult.from_json(path.read_text())
+            cached = self._read_cached(spec)
+            if cached is not None:
+                results[index] = cached
                 self.cache_hits += 1
-            else:
+                continue
+            group = occurrences.setdefault(spec.to_json(), [])
+            if not group:
                 pending.append(index)
                 self.cache_misses += 1
+            group.append(index)
 
         if pending:
-            payloads = [specs[index].to_json() for index in pending]
-            if self.jobs > 1 and len(pending) > 1:
+            jobs: List[Tuple[str, str]] = []
+            # (spec index, shard plan or None, first job offset, job count)
+            segments: List[Tuple[int, Optional[Any], int, int]] = []
+            for index in pending:
+                spec = specs[index]
+                if spec.shards is not None:
+                    from .shard import plan_shards, region_payloads
+
+                    plan = plan_shards(spec)
+                    payloads = region_payloads(plan)
+                    segments.append((index, plan, len(jobs), len(payloads)))
+                    jobs.extend(("region", payload) for payload in payloads)
+                else:
+                    segments.append((index, None, len(jobs), 1))
+                    jobs.append(("spec", spec.to_json()))
+            if self.jobs > 1 and len(jobs) > 1:
                 with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    outputs = list(pool.map(run_spec_json, payloads))
+                    outputs = list(pool.map(run_job, jobs))
             else:
-                outputs = [run_spec_json(payload) for payload in payloads]
-            for index, output in zip(pending, outputs):
-                results[index] = RunResult.from_json(output)
-                path = self._cache_path(specs[index])
-                if path is not None:
-                    path.parent.mkdir(parents=True, exist_ok=True)
-                    path.write_text(output)
+                outputs = [run_job(job) for job in jobs]
+            for index, plan, offset, count in segments:
+                if plan is None:
+                    output = outputs[offset]
+                    result = RunResult.from_json(output)
+                else:
+                    from .shard import merge_region_results
+
+                    documents = [
+                        json.loads(outputs[offset + i]) for i in range(count)
+                    ]
+                    result = merge_region_results(plan, documents)
+                    output = result.to_json()
+                for duplicate in occurrences[specs[index].to_json()]:
+                    results[duplicate] = result
+                self._write_cache(specs[index], output)
         return [result for result in results if result is not None]
 
     def run_one(self, spec: ScenarioSpec) -> RunResult:

@@ -36,6 +36,11 @@ per edge interface; see ``docs/scale.md``):
   the same edges — both realised as ``model="vector"`` blocks advanced one
   array pass per slot by the :mod:`~repro.multicast_cc.population` engine
   (completes on one CPU inside the 5-minute CI scale-smoke budget).
+* ``scale-dumbbell-10m`` — the region-sharded flagship: the same duel at
+  10,000,000 receivers on a ``sharded-dumbbell`` topology whose 8 regions
+  run as independent process-pool workers with a deterministic
+  boundary-event merge (``shards=8``; see :mod:`repro.experiments.shard`
+  and ``docs/scale.md``).
 
 Builders accept ``model="individual"`` to realise the same spec with
 per-object receivers — the reference the equivalence tests and the
@@ -57,6 +62,7 @@ from .spec import CohortDecl, ScenarioSpec, SessionDecl
 __all__ = [
     "scale_dumbbell_spec",
     "scale_dumbbell_1m_spec",
+    "scale_dumbbell_10m_spec",
     "scale_overhead_spec",
     "attack_inflated_100k_spec",
     "attack_churn_flash_crowd_spec",
@@ -184,6 +190,82 @@ register_scenario(
     "audience on a 32-edge dumbbell — thousands of cohort rows advanced by "
     "the columnar population engine in one array pass per slot",
 )(scale_dumbbell_1m_spec)
+
+
+def scale_dumbbell_10m_spec(
+    receivers: int = 10_000_000,
+    cohorts: int = 8_192,
+    attackers: int = 100_000,
+    attacker_cohorts: int = 512,
+    regions: int = 8,
+    edges_per_region: int = 8,
+    shards: int = 8,
+    protected: bool = True,
+    attack_start_s: float = 8.0,
+    intensity: float = 1.0,
+    duration_s: Optional[float] = 20.0,
+    config: ExperimentConfig = PAPER_DEFAULTS,
+) -> ScenarioSpec:
+    """The region-sharded flagship: ten million receivers across 8 regions.
+
+    The ``scale-dumbbell-1m`` duel taken one order of magnitude further on a
+    ``sharded-dumbbell`` topology: ``regions`` independently-bottlenecked
+    multi-edge dumbbells hang off a shared trunk, the honest audience and
+    the batched inflated-join attacker population are ``model="vector"``
+    blocks round-robined over all ``regions × edges_per_region`` edge
+    routers, and ``shards=N`` lets the runner execute each region in its own
+    process-pool worker with a deterministic boundary-event merge
+    (:mod:`repro.experiments.shard`).  The merged result is byte-identical
+    between the serial and pooled paths — and, because each region has its
+    own private bottleneck, to the unsharded run of the same topology.
+    """
+    return ScenarioSpec(
+        name="scale-dumbbell-10m",
+        protected=protected,
+        expected_sessions=2,
+        topology="sharded-dumbbell",
+        topology_params={
+            "regions": regions,
+            "edges_per_region": edges_per_region,
+            "bottleneck_bandwidth_bps": 2 * config.fair_share_bps,
+        },
+        sessions=(
+            SessionDecl(
+                "audience",
+                receivers=0,
+                population=(
+                    CohortDecl(receivers, model="vector", cohorts=cohorts),
+                ),
+            ),
+            SessionDecl(
+                "attackers",
+                receivers=0,
+                population=(
+                    CohortDecl(
+                        attackers,
+                        model="vector",
+                        cohorts=attacker_cohorts,
+                        attack=AttackSpec(
+                            "inflated-join",
+                            start_s=attack_start_s,
+                            intensity=intensity,
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        duration_s=duration_s,
+        shards=shards,
+        config=config,
+    )
+
+
+register_scenario(
+    "scale-dumbbell-10m",
+    "Inflated-join attacker population against a 10,000,000-receiver honest "
+    "audience sharded across 8 topology regions, each region a process-pool "
+    "worker, merged deterministically at slot barriers",
+)(scale_dumbbell_10m_spec)
 
 
 def scale_overhead_spec(

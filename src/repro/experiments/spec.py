@@ -261,6 +261,14 @@ class ScenarioSpec:
     ``dumbbell`` kind with no explicit parameters, the bottleneck is sized from
     the config's fair share times ``expected_sessions`` (or ``bottleneck_bps``
     when given), exactly as the imperative builder always did.
+
+    ``shards`` opts the spec into region-sharded execution: the runner
+    partitions the topology's annotated regions into ``shards`` standalone
+    sub-scenarios, runs them (serially or on the process pool) and merges the
+    results deterministically (:mod:`repro.experiments.shard`).  It must
+    match the topology's region count and is omitted from the canonical JSON
+    when unset, so every pre-sharding spec hash and golden digest stays
+    byte-identical.
     """
 
     name: str
@@ -274,7 +282,14 @@ class ScenarioSpec:
     bottleneck_bps: Optional[float] = None
     duration_s: Optional[float] = None
     record_series: bool = False
+    shards: Optional[int] = None
     config: ExperimentConfig = PAPER_DEFAULTS
+
+    def __post_init__(self) -> None:
+        if self.shards is not None and self.shards < 2:
+            raise ValueError(
+                "shards must be >= 2 when set (omit it for unsharded execution)"
+            )
 
     # ------------------------------------------------------------------
     # derived values
@@ -307,13 +322,15 @@ class ScenarioSpec:
         """Plain-data form: nested dataclasses become dicts, tuples lists.
 
         A session's ``population`` key is omitted when empty — and a cohort
-        block's ``attack``/``churn``/``cohorts`` keys are omitted when unset
-        — so that the canonical JSON (and therefore every golden digest and
-        cache key) of a spec predating each field is byte-identical to what
-        it always was.
+        block's ``attack``/``churn``/``cohorts`` keys, and the spec-level
+        ``shards`` key, are omitted when unset — so that the canonical JSON
+        (and therefore every golden digest and cache key) of a spec
+        predating each field is byte-identical to what it always was.
         """
         payload = asdict(self)
         payload["topology_params"] = dict(self.topology_params)
+        if payload.get("shards") is None:
+            payload.pop("shards", None)
         for session in payload["sessions"]:
             if not session.get("population"):
                 session.pop("population", None)
@@ -391,6 +408,7 @@ class ScenarioSpec:
             bottleneck_bps=payload.get("bottleneck_bps"),
             duration_s=payload.get("duration_s"),
             record_series=payload.get("record_series", False),
+            shards=payload.get("shards"),
             config=config,
         )
 

@@ -47,6 +47,7 @@ from .topology import (
     dumbbell_topology,
     multi_edge_dumbbell_topology,
     parking_lot_topology,
+    sharded_dumbbell_topology,
     star_topology,
 )
 
@@ -60,6 +61,7 @@ __all__ = [
     "dumbbell_topology",
     "multi_edge_dumbbell_topology",
     "parking_lot_topology",
+    "sharded_dumbbell_topology",
     "star_topology",
     "MULTICAST_BASE",
     "GroupAddress",

@@ -18,7 +18,7 @@ routing plane) dominates responsiveness.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .address import GroupAddress
 from .engine import Simulator
@@ -62,6 +62,12 @@ class MulticastRoutingService:
         #: from here and the forwarding plane recycles them when dead.
         self.packet_pool = PacketPool()
         self.stats = MembershipStats()
+        #: Optional boundary-event recorder for region-sharded runs
+        #: (:mod:`repro.experiments.shard`): when a list is assigned here,
+        #: every *effective* membership transition appends
+        #: ``(time_s, group_value, host_name, +1 | -1)``.  ``None`` (the
+        #: default) keeps the join/leave hot path allocation-free.
+        self.membership_log: Optional[List[Tuple[float, int, str, int]]] = None
 
     # ------------------------------------------------------------------
     # membership queries
@@ -133,6 +139,8 @@ class MulticastRoutingService:
         if host not in members:
             members.add(host)
             self.stats.joins_effective += 1
+            if self.membership_log is not None:
+                self.membership_log.append((self.sim.now, int(group), host.name, 1))
             self._invalidate(group)
 
     def _do_leave(self, host: Host, group: GroupAddress) -> None:
@@ -140,6 +148,8 @@ class MulticastRoutingService:
         if members and host in members:
             members.remove(host)
             self.stats.leaves_effective += 1
+            if self.membership_log is not None:
+                self.membership_log.append((self.sim.now, int(group), host.name, -1))
             self._invalidate(group)
 
     def _invalidate(self, group: GroupAddress) -> None:

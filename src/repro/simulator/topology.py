@@ -49,6 +49,7 @@ __all__ = [
     "dumbbell_topology",
     "parking_lot_topology",
     "star_topology",
+    "sharded_dumbbell_topology",
     "binary_tree_topology",
 ]
 
@@ -228,6 +229,14 @@ class TopologySpec:
     ``sender_routers`` / ``receiver_routers`` (explicit per-host placement is
     also possible).  Access links use the shared bandwidth/delay below unless
     the caller overrides them per host.
+
+    ``regions`` optionally partitions the routers into disjoint *topology
+    regions* for the region-sharded runner (``docs/scale.md``): each entry
+    lists the routers of one region, routers in no region form the shared
+    trunk, and every link must stay within one region or connect a region to
+    the trunk — the trunk-to-region links are the designated *cut links*
+    where boundary events are merged.  Sender routers must sit on the trunk
+    so every region sub-topology can carry the full session set.
     """
 
     kind: str
@@ -237,6 +246,7 @@ class TopologySpec:
     receiver_routers: Tuple[str, ...]
     access_bandwidth_bps: float = 10_000_000.0
     access_delay_s: float = 0.010
+    regions: Tuple[Tuple[str, ...], ...] = ()
 
     def __post_init__(self) -> None:
         known = set(self.routers)
@@ -250,6 +260,37 @@ class TopologySpec:
                 raise ValueError(f"attachment router {name!r} is not in the spec")
         if not self.sender_routers or not self.receiver_routers:
             raise ValueError("spec needs at least one sender and one receiver router")
+        if self.regions:
+            membership: Dict[str, int] = {}
+            for index, group in enumerate(self.regions):
+                if not group:
+                    raise ValueError("a topology region cannot be empty")
+                for name in group:
+                    if name not in known:
+                        raise ValueError(f"region router {name!r} is not in the spec")
+                    if name in membership:
+                        raise ValueError(f"router {name!r} appears in two regions")
+                    membership[name] = index
+            for name in self.sender_routers:
+                if name in membership:
+                    raise ValueError(
+                        f"sender router {name!r} must sit on the trunk, not in a region"
+                    )
+            for spec in self.links:
+                a, b = membership.get(spec.a), membership.get(spec.b)
+                if a is not None and b is not None and a != b:
+                    raise ValueError(
+                        f"link {spec.a!r}-{spec.b!r} crosses two regions; regions "
+                        "may only connect to the trunk (the cut links)"
+                    )
+
+    # ------------------------------------------------------------------
+    def region_of(self, router: str) -> Optional[int]:
+        """0-based region index of ``router`` (``None`` for trunk routers)."""
+        for index, group in enumerate(self.regions):
+            if router in group:
+                return index
+        return None
 
 
 class NetworkGraph(Network):
@@ -582,6 +623,82 @@ def multi_edge_dumbbell_topology(
     )
 
 
+def sharded_dumbbell_topology(
+    regions: int = 4,
+    edges_per_region: int = 4,
+    region: Optional[int] = None,
+    bottleneck_bandwidth_bps: float = 1_000_000.0,
+    bottleneck_delay_s: float = 0.020,
+    edge_bandwidth_bps: float = 10_000_000.0,
+    edge_delay_s: float = 0.005,
+    access_bandwidth_bps: float = 10_000_000.0,
+    access_delay_s: float = 0.010,
+    buffer_bdp_multiple: float = 2.0,
+) -> TopologySpec:
+    """``regions`` independently-bottlenecked multi-edge dumbbells, annotated.
+
+    Senders attach at the shared trunk router ``left``.  Each region ``r``
+    has its own core router ``core<r>`` behind a private
+    ``left``–``core<r>`` bottleneck (the region's *cut link*) fanning out to
+    ``edges_per_region`` edge routers ``edge<r>-<e>`` on fat distribution
+    links.  Receiver routers are listed region-major (region 1's edges
+    first), so round-robin vector-block placement assigns each region a
+    contiguous, re-splittable share of the cohort rows — the property the
+    region planner in :mod:`repro.experiments.shard` relies on.
+
+    ``region=r`` (1-based) builds only that region's sub-topology — the
+    trunk plus region ``r``, with identical router names and link
+    parameters — which is how a region worker expresses its share of the
+    scenario as an ordinary standalone spec.
+    """
+    if regions < 1:
+        raise ValueError("sharded dumbbell needs at least one region")
+    if edges_per_region < 1:
+        raise ValueError("sharded dumbbell needs at least one edge per region")
+    if region is not None and not 1 <= region <= regions:
+        raise ValueError(f"region must be in 1..{regions}, got {region}")
+    wanted = range(1, regions + 1) if region is None else (region,)
+    path_rtt_s = 2.0 * (2.0 * access_delay_s + bottleneck_delay_s + edge_delay_s)
+    bottleneck_buffer = _chain_buffer_bytes(
+        bottleneck_bandwidth_bps, path_rtt_s, buffer_bdp_multiple
+    )
+    edge_buffer = _chain_buffer_bytes(edge_bandwidth_bps, path_rtt_s, buffer_bdp_multiple)
+    routers: List[str] = ["left"]
+    links: List[LinkSpec] = []
+    receiver_routers: List[str] = []
+    region_groups: List[Tuple[str, ...]] = []
+    for r in wanted:
+        core = f"core{r}"
+        edges = tuple(f"edge{r}-{e}" for e in range(1, edges_per_region + 1))
+        routers.append(core)
+        routers.extend(edges)
+        links.append(
+            LinkSpec(
+                "left",
+                core,
+                bottleneck_bandwidth_bps,
+                bottleneck_delay_s,
+                buffer_bytes=bottleneck_buffer,
+            )
+        )
+        links.extend(
+            LinkSpec(core, edge, edge_bandwidth_bps, edge_delay_s, buffer_bytes=edge_buffer)
+            for edge in edges
+        )
+        receiver_routers.extend(edges)
+        region_groups.append((core,) + edges)
+    return TopologySpec(
+        kind="sharded-dumbbell",
+        routers=tuple(routers),
+        links=tuple(links),
+        sender_routers=("left",),
+        receiver_routers=tuple(receiver_routers),
+        access_bandwidth_bps=access_bandwidth_bps,
+        access_delay_s=access_delay_s,
+        regions=tuple(region_groups),
+    )
+
+
 def binary_tree_topology(
     depth: int = 3,
     link_bandwidth_bps: float = 1_000_000.0,
@@ -631,6 +748,7 @@ TOPOLOGIES: Dict[str, Callable[..., TopologySpec]] = {
     "parking-lot": parking_lot_topology,
     "star": star_topology,
     "multi-edge-dumbbell": multi_edge_dumbbell_topology,
+    "sharded-dumbbell": sharded_dumbbell_topology,
     "binary-tree": binary_tree_topology,
 }
 

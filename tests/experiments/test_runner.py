@@ -181,3 +181,122 @@ class TestCli:
             (tmp_path / "figure8-throughput-aggregate.json").read_text()
         )
         assert "multicast.mc1.average_kbps" in aggregate
+
+
+class TestCacheHardening:
+    """Torn/corrupt/concurrent cache entries must never poison a run."""
+
+    def _cache_file(self, tmp_path, spec):
+        return tmp_path / f"{ExperimentRunner.cache_key(spec)}.json"
+
+    def test_truncated_cache_entry_is_a_miss_and_is_repaired(self, tmp_path):
+        spec = fast_spec()
+        reference = ExperimentRunner(jobs=1, cache_dir=tmp_path).run_one(spec)
+        path = self._cache_file(tmp_path, spec)
+        valid = path.read_text()
+        path.write_text(valid[: len(valid) // 2])  # torn by a crash mid-write
+
+        runner = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        result = runner.run_one(spec)
+        assert (runner.cache_hits, runner.cache_misses) == (0, 1)
+        assert result.to_json() == reference.to_json()
+        assert path.read_text() == valid  # entry atomically repaired
+
+    def test_garbage_cache_entry_is_a_miss(self, tmp_path):
+        spec = fast_spec()
+        path = self._cache_file(tmp_path, spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("not json at all {{{")
+
+        runner = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        result = runner.run_one(spec)
+        assert (runner.cache_hits, runner.cache_misses) == (0, 1)
+        assert RunResult.from_json(path.read_text()).to_json() == result.to_json()
+
+    def test_wrong_schema_cache_entry_is_a_miss(self, tmp_path):
+        spec = fast_spec()
+        path = self._cache_file(tmp_path, spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"scenario": "x"}))  # parses, wrong shape
+
+        runner = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        runner.run_one(spec)
+        assert (runner.cache_hits, runner.cache_misses) == (0, 1)
+
+    def test_crash_mid_write_leaves_no_torn_entry(self, tmp_path, monkeypatch):
+        """A crash between tmp write and replace leaves no (partial) entry."""
+        import repro.experiments.runner as runner_module
+
+        spec = fast_spec()
+        runner = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+
+        def crash(src, dst):
+            raise RuntimeError("simulated crash mid-write")
+
+        monkeypatch.setattr(runner_module.os, "replace", crash)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            runner.run_one(spec)
+        assert not self._cache_file(tmp_path, spec).exists()
+        assert list(tmp_path.glob("*.tmp")) == []  # tmp sibling cleaned up
+
+        monkeypatch.undo()
+        fresh = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        result = fresh.run_one(spec)
+        assert (fresh.cache_hits, fresh.cache_misses) == (0, 1)
+        assert self._cache_file(tmp_path, spec).exists()
+        assert result.to_json()
+
+    def test_concurrent_runners_share_one_cache_file(self, tmp_path):
+        """Two runners racing one cache_dir: one valid entry, identical bytes."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        spec = fast_spec()
+
+        def race(_):
+            return ExperimentRunner(jobs=1, cache_dir=tmp_path).run_one(spec)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            first, second = list(pool.map(race, range(2)))
+
+        assert first.to_json() == second.to_json()
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert RunResult.from_json(entries[0].read_text()).to_json() == first.to_json()
+
+
+class TestPendingDeduplication:
+    """Identical pending specs in one batch run once and fan the result out."""
+
+    def test_duplicates_run_once_serially(self, monkeypatch):
+        import repro.experiments.runner as runner_module
+
+        calls = []
+        original = runner_module.run_spec_json
+
+        def counting(payload):
+            calls.append(payload)
+            return original(payload)
+
+        monkeypatch.setattr(runner_module, "run_spec_json", counting)
+        runner = ExperimentRunner(jobs=1)
+        results = runner.run([fast_spec(), fast_spec(), fast_spec(1)])
+        assert len(results) == 3
+        assert len(calls) == 2  # the duplicate pair simulated once
+        assert (runner.cache_hits, runner.cache_misses) == (0, 2)
+        assert results[0].to_json() == results[1].to_json()
+        assert results[0].seed != results[2].seed
+
+    def test_duplicates_write_cache_once(self, tmp_path):
+        runner = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        results = runner.run([fast_spec(), fast_spec()])
+        assert (runner.cache_hits, runner.cache_misses) == (0, 1)
+        assert len(results) == 2
+        assert results[0].to_json() == results[1].to_json()
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_duplicates_on_the_pool(self):
+        runner = ExperimentRunner(jobs=2)
+        results = runner.run([fast_spec(), fast_spec()])
+        assert runner.cache_misses == 1
+        assert results[0].to_json() == results[1].to_json()

@@ -5,6 +5,8 @@ import pytest
 from repro.experiments import (
     PAPER_DEFAULTS,
     CbrDecl,
+    ChurnProcess,
+    CohortDecl,
     Scenario,
     ScenarioSpec,
     SessionDecl,
@@ -170,3 +172,73 @@ class TestInterpreter:
         assert len(scenario.igmp_managers) == 3
         for router in scenario.network.receiver_edge_routers:
             assert router.group_manager is not None
+
+
+class TestShardsField:
+    def test_shards_omitted_from_canonical_json_when_unset(self):
+        """Legacy spec hashes and golden digests must stay byte-identical."""
+        spec = _rich_spec()
+        assert spec.shards is None
+        assert '"shards"' not in spec.to_json()
+        assert "shards" not in spec.to_dict()
+
+    def test_shards_roundtrip_when_set(self):
+        spec = ScenarioSpec(
+            name="sharded",
+            protected=True,
+            topology="sharded-dumbbell",
+            topology_params={"regions": 2, "edges_per_region": 2},
+            shards=2,
+            sessions=(
+                SessionDecl(
+                    "mc",
+                    receivers=0,
+                    population=(CohortDecl(8, model="vector", cohorts=2),),
+                ),
+            ),
+        )
+        assert spec.to_dict()["shards"] == 2
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_shards_below_two_rejected(self):
+        with pytest.raises(ValueError, match="shards must be >= 2"):
+            ScenarioSpec(
+                name="bad",
+                protected=False,
+                shards=1,
+                sessions=(SessionDecl("mc"),),
+            )
+
+
+class TestVectorChurnRejection:
+    """model="vector" blocks cannot churn: the columnar rows are fixed-size.
+
+    Regression tests for the spec-construction guard — a churned vector
+    block used to slip through to the scenario interpreter and fail deep
+    inside the population engine.
+    """
+
+    def test_vector_churn_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="single aggregated cohort"):
+            CohortDecl(
+                10,
+                model="vector",
+                churn=ChurnProcess(burst=((1.0, 5),)),
+            )
+
+    def test_multi_cohort_churn_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="single aggregated cohort"):
+            CohortDecl(
+                10,
+                cohorts=2,
+                churn=ChurnProcess(burst=((1.0, 5),)),
+            )
+
+    def test_vector_churn_rejected_via_from_dict(self):
+        payload = {
+            "count": 10,
+            "model": "vector",
+            "churn": ChurnProcess(burst=((1.0, 5),)).to_dict(),
+        }
+        with pytest.raises(ValueError, match="single aggregated cohort"):
+            CohortDecl.from_dict(payload)

@@ -14,6 +14,7 @@ from repro.simulator import (
     dumbbell_topology,
     multi_edge_dumbbell_topology,
     parking_lot_topology,
+    sharded_dumbbell_topology,
     star_topology,
 )
 from repro.simulator.routing import shortest_path
@@ -70,6 +71,7 @@ class TestFactories:
             "star",
             "binary-tree",
             "multi-edge-dumbbell",
+            "sharded-dumbbell",
         }
 
     def test_dumbbell_factory_matches_config(self):
@@ -167,3 +169,107 @@ class TestNetworkGraph:
         assert network.bottleneck.src is network.left
         assert network.bottleneck.dst is network.right
         assert network.edge_router is network.right
+
+
+class TestTopologyRegions:
+    """Region annotations: the sharded runner's partitioning contract."""
+
+    def _spec(self, regions):
+        return TopologySpec(
+            kind="regioned",
+            routers=("left", "core1", "edge1", "core2", "edge2"),
+            links=(
+                LinkSpec("left", "core1", 1e6, 0.01),
+                LinkSpec("core1", "edge1", 1e7, 0.005),
+                LinkSpec("left", "core2", 1e6, 0.01),
+                LinkSpec("core2", "edge2", 1e7, 0.005),
+            ),
+            sender_routers=("left",),
+            receiver_routers=("edge1", "edge2"),
+            regions=regions,
+        )
+
+    def test_region_of(self):
+        spec = self._spec((("core1", "edge1"), ("core2", "edge2")))
+        assert spec.region_of("edge1") == 0
+        assert spec.region_of("core2") == 1
+        assert spec.region_of("left") is None  # trunk
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError, match="cannot be empty"):
+            self._spec((("core1", "edge1"), ()))
+
+    def test_unknown_region_router_rejected(self):
+        with pytest.raises(ValueError, match="not in the spec"):
+            self._spec((("core1", "ghost"),))
+
+    def test_duplicate_region_membership_rejected(self):
+        with pytest.raises(ValueError, match="appears in two regions"):
+            self._spec((("core1", "edge1"), ("edge1", "core2")))
+
+    def test_sender_router_in_region_rejected(self):
+        with pytest.raises(ValueError, match="must sit on the trunk"):
+            self._spec((("left", "core1"),))
+
+    def test_cross_region_link_rejected(self):
+        with pytest.raises(ValueError, match="crosses two regions"):
+            TopologySpec(
+                kind="bad",
+                routers=("left", "core1", "core2"),
+                links=(
+                    LinkSpec("left", "core1", 1e6, 0.01),
+                    LinkSpec("core1", "core2", 1e6, 0.01),
+                ),
+                sender_routers=("left",),
+                receiver_routers=("core1", "core2"),
+                regions=(("core1",), ("core2",)),
+            )
+
+
+class TestShardedDumbbellFactory:
+    def test_full_build_shape(self):
+        spec = sharded_dumbbell_topology(regions=3, edges_per_region=2)
+        assert spec.kind == "sharded-dumbbell"
+        assert len(spec.regions) == 3
+        assert spec.sender_routers == ("left",)
+        assert spec.receiver_routers == (
+            "edge1-1", "edge1-2", "edge2-1", "edge2-2", "edge3-1", "edge3-2",
+        )
+        # one cut link per region: left <-> core{r}
+        cuts = [
+            link for link in spec.links
+            if "left" in (link.a, link.b) and "core" in link.a + link.b
+        ]
+        assert len(cuts) == 3
+
+    def test_receiver_routers_are_region_contiguous(self):
+        spec = sharded_dumbbell_topology(regions=3, edges_per_region=2)
+        order = [spec.region_of(edge) for edge in spec.receiver_routers]
+        assert order == sorted(order)
+
+    def test_region_sub_build_matches_full_build(self):
+        """The region sub-topology reuses the full build's names and links."""
+        full = sharded_dumbbell_topology(regions=3, edges_per_region=2)
+        full_links = {
+            frozenset((link.a, link.b)): link for link in full.links
+        }
+        for region in (1, 2, 3):
+            sub = sharded_dumbbell_topology(
+                regions=3, edges_per_region=2, region=region
+            )
+            assert len(sub.regions) == 1
+            assert sub.regions[0] == full.regions[region - 1]
+            assert sub.receiver_routers == tuple(
+                edge for edge in full.receiver_routers
+                if full.region_of(edge) == region - 1
+            )
+            for link in sub.links:
+                assert full_links[frozenset((link.a, link.b))] == link
+
+    def test_region_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="region must be in 1..4"):
+            sharded_dumbbell_topology(region=5)
+
+    def test_registered(self):
+        spec = build_topology("sharded-dumbbell", regions=2, edges_per_region=2)
+        assert len(spec.regions) == 2

@@ -124,6 +124,18 @@ def _headline(lines: List[str]) -> None:
                 f"(floor {_fmt(columnar.get('min_speedup'))}×, "
                 f"`{columnar.get('backend')}` backend) | `BENCH_scale.json` |"
             )
+        sharding = metrics.get("sharding_speedup", {})
+        if sharding:
+            lines.append(
+                f"| Region-sharded 10M receivers (`{sharding.get('scenario')}`, "
+                f"{_fmt(sharding.get('shards'))} regions) | "
+                f"{_fmt(sharding.get('receivers'))} receivers, serial "
+                f"{_fmt(sharding.get('serial_wall_s'))} s == pool bytes, ideal "
+                f"speedup {_fmt(sharding.get('ideal_speedup'))}× (floor "
+                f"{_fmt(sharding.get('min_speedup'))}×; measured "
+                f"{_fmt(sharding.get('measured_speedup'))}× on "
+                f"{_fmt(sharding.get('cpus'))} CPU) | `BENCH_scale.json` |"
+            )
         protection = metrics.get("protection_at_scale", {})
         if protection:
             lines.append(
