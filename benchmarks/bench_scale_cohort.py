@@ -33,6 +33,12 @@ exists to retire; the cap is recorded in the block) and asserts the columnar
 rate is at least ``MIN_COLUMNAR_SPEEDUP``× (10×) the per-object rate at
 1,000 cohorts.
 
+A fourth measurement times the **batched key-oriented attacks** (PR 8):
+the ``attack-keys-100k`` and ``attack-collusion-100k`` scenarios with
+cohort-realised attackers at a 100,000-receiver audience against the same
+shapes realised per-object at a recorded 1k cap, asserting each cohort
+realisation's receivers-per-second floor (``batched_attacks`` block).
+
 Results land in ``benchmarks/results/BENCH_scale_cohort.json`` and — so the
 cross-PR perf trajectory has a stable, top-level anchor — in
 ``BENCH_scale.json`` at the repository root (both blocks merged into one
@@ -47,7 +53,13 @@ import pathlib
 import time
 
 from repro.analysis import write_json
-from repro.experiments import ExperimentRunner, attack_inflated_100k_spec, scale_dumbbell_spec
+from repro.experiments import (
+    ExperimentRunner,
+    attack_collusion_100k_spec,
+    attack_inflated_100k_spec,
+    attack_keys_100k_spec,
+    scale_dumbbell_spec,
+)
 from repro.experiments.scenario import Scenario
 from repro.multicast_cc.population import active_backend
 
@@ -83,6 +95,19 @@ COHORT_OBJECT_CAP = 1_000
 #: at 1,000 cohorts (the tentpole claim of the columnar engine).
 MIN_COLUMNAR_SPEEDUP = 10.0
 
+#: Batched key-oriented attacks (PR 8): honest population of the cohort
+#: measurement, and the cap on the per-object reference realisation (running
+#: the reference at 100k would take hours — the cap is recorded in the
+#: block, and the per-object rate only falls with N, so the comparison is
+#: conservative).
+BATCHED_ATTACK_RECEIVERS = 100_000
+BATCHED_ATTACK_REFERENCE_CAP = 1_000
+BATCHED_ATTACK_REFERENCE_ATTACKERS = 5
+
+#: Regression floor: batched attacker-cohort receivers/s over the 1k-capped
+#: per-object reference, for each key-oriented scenario.
+MIN_BATCHED_ATTACK_SPEEDUP = 50.0
+
 
 def _merge_top_level(key: str, value: dict, source: pathlib.Path) -> None:
     """Merge one metrics block into the top-level ``BENCH_scale.json``.
@@ -104,6 +129,7 @@ def _merge_top_level(key: str, value: dict, source: pathlib.Path) -> None:
         "protection_at_scale",
         "columnar_speedup",
         "sharding_speedup",
+        "batched_attacks",
     )
     payload["metrics"] = {
         k: v for k, v in payload.get("metrics", {}).items() if k in known
@@ -296,3 +322,106 @@ def test_columnar_cohort_sweep_speedup(bench_record):
         f"(floor {MIN_COLUMNAR_SPEEDUP}x) — per-row Python cost has crept "
         "back into the per-slot path"
     )
+
+
+def _run_batched_attack(spec) -> dict:
+    """Run one key-oriented attack spec and measure its receivers/s rate."""
+    scenario = Scenario.from_spec(spec)
+    start = time.perf_counter()
+    scenario.run(spec.duration_s)
+    wall_s = time.perf_counter() - start
+    population = sum(session.total_population for session in scenario.sessions)
+    attackers = [
+        r
+        for session in scenario.sessions
+        for r in session.receivers
+        if hasattr(r, "adversary_stats")
+    ]
+    stats = {}
+    for receiver in attackers:
+        for key, value in receiver.adversary_stats().items():
+            stats[key] = stats.get(key, 0) + value
+    # Sanity: the attack actually ran at the measured scale.
+    assert stats.get("replay_attempts", 0) + stats.get("shared_key_submissions", 0) > 0
+    return {
+        "receivers": population,
+        "wall_s": wall_s,
+        "receivers_per_sec": population / wall_s if wall_s > 0 else 0.0,
+        "replay_attempts": stats.get("replay_attempts", 0),
+        "guess_attempts": stats.get("guess_attempts", 0),
+        "shared_key_submissions": stats.get("shared_key_submissions", 0),
+    }
+
+
+def test_batched_attack_cohort_rates(bench_record):
+    """Key-replay and collusion cohorts at 100k vs the per-object reference.
+
+    The PR 8 claim: the formerly randomised §4 attacks batch exactly, so an
+    attack scenario's cost no longer scales with the attacker *or* audience
+    population.  For each key-oriented scenario the cohort realisation runs
+    at 100,000 receivers and the `model="individual"` reference at the
+    recorded 1k cap; the ``batched_attacks`` block lands in the top-level
+    ``BENCH_scale.json`` and the gallery, and each scenario's receivers/s
+    speedup is floored at ``MIN_BATCHED_ATTACK_SPEEDUP``×.
+    """
+    builders = {
+        "key-replay": lambda model, receivers, attackers: attack_keys_100k_spec(
+            receivers=receivers,
+            replayers=attackers,
+            guessers=attackers,
+            model=model,
+            duration_s=BENCH_DURATION_S,
+            attack_start_s=4.0,
+        ),
+        "collusion": lambda model, receivers, attackers: attack_collusion_100k_spec(
+            receivers=receivers,
+            publishers=attackers,
+            exploiters=attackers,
+            model=model,
+            duration_s=BENCH_DURATION_S,
+            attack_start_s=4.0,
+        ),
+    }
+    scenarios = {}
+    for name, build in builders.items():
+        cohort = _run_batched_attack(
+            build("cohort", BATCHED_ATTACK_RECEIVERS, 50)
+        )
+        reference = _run_batched_attack(
+            build(
+                "individual",
+                BATCHED_ATTACK_REFERENCE_CAP,
+                BATCHED_ATTACK_REFERENCE_ATTACKERS,
+            )
+        )
+        speedup = cohort["receivers_per_sec"] / max(
+            reference["receivers_per_sec"], 1e-9
+        )
+        scenarios[name] = {
+            "cohort": cohort,
+            "per_object_reference": reference,
+            "speedup_receivers_per_sec": speedup,
+        }
+
+    metrics = {
+        "per_object_cap": BATCHED_ATTACK_REFERENCE_CAP,
+        "min_speedup": MIN_BATCHED_ATTACK_SPEEDUP,
+        "scenarios": scenarios,
+    }
+    path = bench_record(metrics, name="scale_batched_attacks")
+    _merge_top_level("batched_attacks", metrics, path)
+
+    for name, block in scenarios.items():
+        cohort, reference = block["cohort"], block["per_object_reference"]
+        print(
+            f"\n{name:>10}: cohort {cohort['receivers']:,} rx in "
+            f"{cohort['wall_s']:.2f}s ({cohort['receivers_per_sec']:,.0f} rx/s) "
+            f"vs per-object {reference['receivers']:,} rx in "
+            f"{reference['wall_s']:.2f}s ({reference['receivers_per_sec']:,.0f} "
+            f"rx/s): {block['speedup_receivers_per_sec']:,.1f}x"
+        )
+        assert block["speedup_receivers_per_sec"] >= MIN_BATCHED_ATTACK_SPEEDUP, (
+            f"batched {name} cohort delivers only "
+            f"{block['speedup_receivers_per_sec']:.1f}x receivers/s over the "
+            f"per-object reference (floor {MIN_BATCHED_ATTACK_SPEEDUP}x)"
+        )

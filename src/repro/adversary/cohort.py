@@ -14,12 +14,13 @@ dispatch of :mod:`repro.adversary.receivers`:
   equals the cohort population, so every attack counter, IGMP report weight
   and SIGMA ``member_count`` stamp books the attack **per member**;
 * only *batch-exact* strategies are allowed
-  (:data:`~repro.adversary.spec.COHORT_BATCHED_STRATEGIES` — currently
-  ``inflated-join``, ``ignore-congestion`` and ``churn``): deterministic
-  state machines whose per-slot action is identical for every member of a
-  homogeneous cohort.  Randomised strategies (key guessing, replay,
-  collusion) draw per-attacker randomness and therefore require individual
-  receivers — see ``docs/threat-model.md`` for the scale-limits table.
+  (:data:`~repro.adversary.spec.COHORT_BATCHED_STRATEGIES` — since PR 8 the
+  whole registry): every strategy's per-slot action reduces to a pure rule
+  in :mod:`repro.multicast_cc.decision`
+  (:data:`~repro.adversary.spec.BATCHED_DECISION_RULES` names the pairing),
+  with per-cohort randomness drawn once per slot from the strategy's named
+  seeded stream and collusion pools taking member-weighted contributions —
+  see ``docs/threat-model.md`` for the per-strategy account.
 
 ``tests/experiments/test_adversarial_cohort_equivalence.py`` asserts the
 contract exactly: a cohort of N attackers produces the same level
@@ -66,10 +67,10 @@ class _CohortAdversaryMixin(_AdversaryMixin):
         for strategy in strategies:
             if strategy.name not in COHORT_BATCHED_STRATEGIES:
                 raise ValueError(
-                    f"strategy {strategy.name!r} does not batch exactly over a "
-                    f"cohort; batch-exact strategies: "
-                    f"{sorted(COHORT_BATCHED_STRATEGIES)} (randomised attacks "
-                    "need individual receivers — see docs/threat-model.md)"
+                    f"strategy {strategy.name!r} has no batched decision rules "
+                    f"in repro.multicast_cc.decision (BATCHED_DECISION_RULES) "
+                    f"and cannot mount on a cohort; batch-exact strategies: "
+                    f"{sorted(COHORT_BATCHED_STRATEGIES)}"
                 )
         super()._init_adversary(strategies)
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
+from ..multicast_cc.decision import forbidden_groups as _forbidden_groups
 from ..simulator.address import GroupAddress
 from ..simulator.igmp import IgmpHostInterface
 
@@ -54,12 +55,20 @@ class CollusionPool:
         self._keys: Dict[int, Dict[int, int]] = {}
         self.published = 0
 
-    def publish(self, governed_slot: int, keys: Dict[int, int]) -> None:
+    def publish(self, governed_slot: int, keys: Dict[int, int], members: int = 1) -> None:
+        """Merge ``keys`` for ``governed_slot`` on behalf of ``members`` colluders.
+
+        A cohort of N colluders reconstructs identical keys and publishes
+        them once with ``members=N``; the ``published`` tally then books
+        exactly the N per-member contributions that N individual colluders
+        would have booked, while the merged key map is identical either way
+        (the member-weighted aggregation design of ``docs/threat-model.md``).
+        """
         if not keys:
             return
         slot_keys = self._keys.setdefault(governed_slot, {})
         slot_keys.update(keys)
-        self.published += len(keys)
+        self.published += len(keys) * members
         for old in [s for s in self._keys if s < governed_slot - POOL_RETAINED_SLOTS]:
             del self._keys[old]
 
@@ -120,7 +129,7 @@ class AttackContext:
 
     def forbidden_groups(self, slot: int) -> List[int]:
         """Groups above the receiver's legitimate entitlement for ``slot``."""
-        return list(range(self.entitled_level(slot) + 1, self.group_count + 1))
+        return list(_forbidden_groups(self.entitled_level(slot), self.group_count))
 
     def set_level(self, level: int) -> None:
         """Overwrite the receiver's subscription level (and its history)."""

@@ -16,15 +16,47 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-__all__ = ["AttackSpec", "COHORT_BATCHED_STRATEGIES"]
+__all__ = ["AttackSpec", "BATCHED_DECISION_RULES", "COHORT_BATCHED_STRATEGIES"]
 
-#: Strategies whose per-slot action is a deterministic function of the shared
-#: cohort state — these batch *exactly* over an adversarial cohort (one
-#: aggregated attacker object == N individuals, asserted by the equivalence
-#: tests).  Randomised strategies (key guessing/replay, collusion) draw
-#: per-attacker randomness and must stay individual receivers; the
-#: scale-limits table in ``docs/threat-model.md`` records the split.
-COHORT_BATCHED_STRATEGIES = frozenset({"inflated-join", "ignore-congestion", "churn"})
+#: Strategy name -> the pure decision rules in
+#: :mod:`repro.multicast_cc.decision` that its per-slot action reduces to.
+#: Listing a strategy here is the *batching contract*: its live class must be
+#: a thin shim over exactly these rules, every rule must be gated by the
+#: exhaustive small-model harness (``tests/properties/exhaustive.py``
+#: enumerates every (count, level, phase, key-state, rng-draw) tuple below a
+#: bound and asserts batch == N x scalar, and array == batch where an array
+#: form exists), and cohort-vs-individual exactness at N=3 must hold on both
+#: population backends.  A strategy registered *without* an entry is rejected
+#: at :class:`AttackSpec` declaration time — extend this mapping (and the
+#: harness) before shipping a new strategy.
+BATCHED_DECISION_RULES: Dict[str, Tuple[str, ...]] = {
+    "inflated-join": (
+        "attack_target_level",
+        "decide_inflated_join",
+        "decide_inflated_join_batch",
+        "decide_inflated_join_array",
+    ),
+    "ignore-congestion": ("mask_congestion",),
+    "churn": (
+        "churn_phase",
+        "churn_phase_array",
+        "decide_churn",
+        "decide_churn_batch",
+        "decide_churn_array",
+    ),
+    "key-replay": ("attack_rate", "replay_volley", "replay_volley_batch"),
+    "key-guessing": ("attack_rate", "guess_volley", "guess_volley_batch"),
+    "join-storm": ("attack_rate", "decide_join_storm", "decide_join_storm_batch"),
+    "collusion": ("collusion_volley", "collusion_volley_batch"),
+}
+
+#: Strategies that batch *exactly* over an adversarial cohort (one aggregated
+#: attacker object == N individuals, asserted by the equivalence tests and
+#: the exhaustive harness).  Since PR 8 this is the whole registry: formerly
+#: randomised strategies draw their per-slot randomness *once per cohort*
+#: from the named seeded stream, and collusion pools accept member-weighted
+#: contributions — see ``docs/threat-model.md`` for the per-strategy account.
+COHORT_BATCHED_STRATEGIES = frozenset(BATCHED_DECISION_RULES)
 
 
 @dataclass(frozen=True)
@@ -48,6 +80,20 @@ class AttackSpec:
     def __post_init__(self) -> None:
         if not self.strategy:
             raise ValueError("an attack needs a strategy name")
+        if self.strategy not in BATCHED_DECISION_RULES:
+            # Unknown names stay a build-time KeyError (the registry may not
+            # be populated yet); a *registered* strategy missing its batching
+            # contract is a declaration-time error.
+            from .registry import ADVERSARIES
+
+            if self.strategy in ADVERSARIES:
+                raise ValueError(
+                    f"strategy {self.strategy!r} is registered but has no "
+                    f"batched decision rules: add a scalar+batched pair to "
+                    f"repro.multicast_cc.decision, list it in "
+                    f"BATCHED_DECISION_RULES (repro.adversary.spec), and gate "
+                    f"it in tests/properties/exhaustive.py"
+                )
         if not self.receivers:
             raise ValueError("an attack needs at least one target receiver")
         if any(index < 0 for index in self.receivers):

@@ -6,19 +6,33 @@ threat-model section maps every class to its taxonomy entry.  Strategies are
 deliberately small — composition (stacking several on one receiver) is how
 richer attackers are built, e.g. the Figure 7 attacker is inflated-join +
 key-replay + key-guessing.
+
+Every strategy here is a thin shim over a pure decision rule in
+:mod:`repro.multicast_cc.decision` (the
+:data:`~repro.adversary.spec.BATCHED_DECISION_RULES` mapping names the
+pairing): the shim gathers the slot's inputs — entitlement, stash, pooled
+keys, and for key guessing the slot's *per-cohort* draw budget from the
+strategy's seeded stream — and books the rule's output through the
+capability context at ``member_count`` weight.  That split is what makes
+cohort batching exact for the whole registry; the exhaustive small-model
+harness (``tests/properties/exhaustive.py``) gates every rule.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple, TYPE_CHECKING
+from typing import Dict, List, Set, TYPE_CHECKING
 
 from ..multicast_cc.decision import (
+    attack_rate,
     attack_target_level,
     churn_phase,
+    collusion_volley,
     decide_churn,
+    decide_join_storm,
+    guess_volley,
     mask_congestion,
+    replay_volley,
 )
-from ..simulator.address import GroupAddress
 from .context import AttackContext
 from .registry import register_adversary
 from .strategy import AttackStrategy
@@ -170,18 +184,19 @@ class KeyReplayStrategy(AttackStrategy):
         if not ctx.protected:
             return
         governed = slot + 2
-        per_group = max(1, round(float(self.param("replays_per_group", 1)) * self.intensity))
+        per_group = attack_rate(float(self.param("replays_per_group", 1)), self.intensity)
         candidates: List[int] = []
         for stash_slot in sorted(self._stash, reverse=True):
             candidates.extend(self._stash[stash_slot].values())
         if not candidates:
             return
-        pairs: List[Tuple[GroupAddress, int]] = []
-        for group in ctx.forbidden_groups(governed):
-            for key in candidates[:per_group]:
-                ctx.replay_attempts += ctx.member_count
-                pairs.append((ctx.address_of(group), key))
-        ctx.sigma_subscribe(governed, pairs)
+        volley = replay_volley(
+            candidates, ctx.entitled_level(governed), ctx.group_count, per_group
+        )
+        ctx.replay_attempts += ctx.member_count * len(volley)
+        ctx.sigma_subscribe(
+            governed, [(ctx.address_of(group), key) for group, key in volley]
+        )
 
 
 @register_adversary
@@ -199,14 +214,19 @@ class KeyGuessingStrategy(AttackStrategy):
         if not ctx.protected:
             return
         governed = slot + 2
-        guesses = max(1, round(float(self.param("guesses_per_slot", 4)) * self.intensity))
+        guesses = attack_rate(float(self.param("guesses_per_slot", 4)), self.intensity)
         key_bits = int(self.param("key_bits", getattr(ctx.receiver, "key_bits", 16)))
-        pairs: List[Tuple[GroupAddress, int]] = []
-        for group in ctx.forbidden_groups(governed):
-            for _ in range(guesses):
-                ctx.guess_attempts += ctx.member_count
-                pairs.append((ctx.address_of(group), self.rng.getrandbits(key_bits)))
-        ctx.sigma_subscribe(governed, pairs)
+        entitled = ctx.entitled_level(governed)
+        # One draw budget per slot covers the whole cohort (per-cohort
+        # randomness); the flat draw order matches the group-major loop the
+        # per-object strategy historically ran, byte for byte.
+        needed = max(0, ctx.group_count - entitled) * guesses
+        draws = [self.rng.getrandbits(key_bits) for _ in range(needed)]
+        volley = guess_volley(entitled, ctx.group_count, guesses, draws)
+        ctx.guess_attempts += ctx.member_count * len(volley)
+        ctx.sigma_subscribe(
+            governed, [(ctx.address_of(group), key) for group, key in volley]
+        )
 
 
 @register_adversary
@@ -224,9 +244,9 @@ class JoinStormStrategy(AttackStrategy):
     name = "join-storm"
 
     def after_slot(self, ctx: AttackContext, slot: int, record: SlotRecord, congested: bool) -> None:
-        bursts = max(1, round(float(self.param("bursts_per_slot", 1)) * self.intensity))
-        for _ in range(bursts):
-            ctx.igmp_join_all()
+        bursts = attack_rate(float(self.param("bursts_per_slot", 1)), self.intensity)
+        for group in decide_join_storm(bursts, ctx.group_count):
+            ctx.igmp_join(group)
 
 
 @register_adversary
@@ -248,17 +268,15 @@ class CollusionStrategy(AttackStrategy):
 
     def on_keys(self, ctx: AttackContext, governed_slot: int, keys: Dict[int, int]) -> None:
         if self.param("publish", True):
-            self._pool(ctx).publish(governed_slot, keys)
+            self._pool(ctx).publish(governed_slot, keys, members=ctx.member_count)
 
     def after_slot(self, ctx: AttackContext, slot: int, record: SlotRecord, congested: bool) -> None:
         if not ctx.protected or not self.param("exploit", True):
             return
         governed = slot + 2
         pooled = self._pool(ctx).keys_for(governed)
-        pairs: List[Tuple[GroupAddress, int]] = []
-        for group in ctx.forbidden_groups(governed):
-            key = pooled.get(group)
-            if key is not None:
-                ctx.shared_key_submissions += ctx.member_count
-                pairs.append((ctx.address_of(group), key))
-        ctx.sigma_subscribe(governed, pairs)
+        volley = collusion_volley(pooled, ctx.entitled_level(governed), ctx.group_count)
+        ctx.shared_key_submissions += ctx.member_count * len(volley)
+        ctx.sigma_subscribe(
+            governed, [(ctx.address_of(group), key) for group, key in volley]
+        )

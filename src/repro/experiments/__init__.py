@@ -72,7 +72,9 @@ from .figure9 import (
 )
 from .scale import (
     attack_churn_flash_crowd_spec,
+    attack_collusion_100k_spec,
     attack_inflated_100k_spec,
+    attack_keys_100k_spec,
     run_scale_protection_sweep,
     scale_dumbbell_1m_spec,
     scale_dumbbell_10m_spec,
@@ -94,7 +96,9 @@ __all__ = [
     "SessionDecl",
     "TcpDecl",
     "attack_churn_flash_crowd_spec",
+    "attack_collusion_100k_spec",
     "attack_inflated_100k_spec",
+    "attack_keys_100k_spec",
     "run_scale_protection_sweep",
     "scale_dumbbell_1m_spec",
     "scale_dumbbell_10m_spec",

@@ -22,6 +22,16 @@ per edge interface; see ``docs/scale.md``):
   100,000-receiver honest audience, both aggregated, protection metrics
   population-weighted (completes in seconds on one CPU; the acceptance
   budget is 60 s wall).
+* ``attack-keys-100k`` — the §4 key-oriented attacks at full scale: a
+  key-replay cohort and a key-guessing cohort (the formerly randomised
+  strategies, batch-exact since PR 8) against a 100,000-receiver honest
+  audience, every counter population-weighted.
+* ``attack-collusion-100k`` — §4.3 key sharing at full scale on the
+  parking lot: an upstream publisher-colluder cohort keeps full entitlement
+  and feeds the shared pool while a downstream exploiting-colluder cohort,
+  squeezed by a CBR burst, submits the pooled keys across its own congested
+  bottleneck — with a 100,000-receiver honest audience behind the same
+  squeezed hop.
 * ``attack-churn-flash-crowd`` — audience dynamics: a churn-attack receiver
   probing the grace windows while the honest cohort's population jumps
   100 → 100,000 mid-session through a
@@ -57,7 +67,7 @@ from ..multicast_cc.churn import ChurnProcess
 from .config import PAPER_DEFAULTS, ExperimentConfig
 from .registry import register_scenario
 from .runner import ExperimentRunner, RunResult
-from .spec import CohortDecl, ScenarioSpec, SessionDecl
+from .spec import CbrDecl, CohortDecl, ScenarioSpec, SessionDecl
 
 __all__ = [
     "scale_dumbbell_spec",
@@ -65,6 +75,8 @@ __all__ = [
     "scale_dumbbell_10m_spec",
     "scale_overhead_spec",
     "attack_inflated_100k_spec",
+    "attack_keys_100k_spec",
+    "attack_collusion_100k_spec",
     "attack_churn_flash_crowd_spec",
     "scale_protection_spec",
     "run_scale_protection_sweep",
@@ -369,6 +381,174 @@ register_scenario(
 )(attack_inflated_100k_spec)
 
 
+def attack_keys_100k_spec(
+    receivers: int = 100_000,
+    replayers: int = 50,
+    guessers: int = 50,
+    protected: bool = True,
+    attack_start_s: float = 10.0,
+    intensity: float = 1.0,
+    duration_s: Optional[float] = 30.0,
+    model: str = "cohort",
+    config: ExperimentConfig = PAPER_DEFAULTS,
+) -> ScenarioSpec:
+    """The §4 key-oriented attacks against a ``receivers``-strong audience.
+
+    Two adversarial cohorts — ``replayers`` members replaying legitimately
+    reconstructed keys out of scope (§4.1) and ``guessers`` members
+    submitting random keys (§4.2) — share a fair-share-sized dumbbell
+    bottleneck with a ``receivers``-member honest cohort.  Both strategies
+    draw per-cohort randomness from their named seeded streams and book
+    counters at member weight, so the whole attacker population costs two
+    receiver objects however large it is declared.  SIGMA must hold every
+    replay in ``invalid_submissions`` and alarm on the guess volume while
+    the honest audience's goodput stays at its fair share.
+    """
+    return ScenarioSpec(
+        name="attack-keys-100k",
+        protected=protected,
+        expected_sessions=2,
+        sessions=(
+            SessionDecl(
+                "audience",
+                receivers=0,
+                population=(CohortDecl(receivers, model=model),),
+            ),
+            SessionDecl(
+                "attackers",
+                receivers=0,
+                population=(
+                    CohortDecl(
+                        replayers,
+                        model=model,
+                        attack=AttackSpec(
+                            "key-replay",
+                            start_s=attack_start_s,
+                            intensity=intensity,
+                        ),
+                    ),
+                    CohortDecl(
+                        guessers,
+                        model=model,
+                        attack=AttackSpec(
+                            "key-guessing",
+                            start_s=attack_start_s,
+                            intensity=intensity,
+                        ),
+                    ),
+                ),
+            ),
+        ),
+        duration_s=duration_s,
+        config=config,
+    )
+
+
+register_scenario(
+    "attack-keys-100k",
+    "Key-replay and key-guessing attacker cohorts against a "
+    "100,000-receiver honest cohort: the paper's §4 key-oriented attacks "
+    "at full scale, randomness drawn per cohort, counters "
+    "population-weighted",
+)(attack_keys_100k_spec)
+
+
+def attack_collusion_100k_spec(
+    receivers: int = 100_000,
+    publishers: int = 50,
+    exploiters: int = 50,
+    protected: bool = True,
+    attack_start_s: float = 10.0,
+    intensity: float = 1.0,
+    hops: int = 3,
+    duration_s: Optional[float] = 30.0,
+    model: str = "cohort",
+    config: ExperimentConfig = PAPER_DEFAULTS,
+) -> ScenarioSpec:
+    """§4.3 collusion at full scale: pooled keys across the parking lot.
+
+    The ``attack-collusion-parking-lot`` shape with cohorts on both ends: an
+    upstream publisher-colluder cohort sits at ``r1`` where nothing is
+    congested, keeps its full entitlement, and publishes every reconstructed
+    key into the shared pool at member weight; a downstream
+    exploiting-colluder cohort sits behind the last hop, which a CBR burst
+    squeezes to collapse its honest entitlement, and submits the pooled
+    high-group keys across its own congested bottleneck.  The
+    ``receivers``-member honest audience shares that squeezed hop.  The keys
+    are valid, so SIGMA accepts them — but the colluders' bottleneck still
+    drops the excess, which is the §4.3 containment claim the
+    population-weighted protection metrics must show at scale.
+    """
+    last = f"r{hops}"
+    effective_duration = duration_s if duration_s is not None else config.duration_s
+    pool_params = {"pool": "lot"}
+    return ScenarioSpec(
+        name="attack-collusion-100k",
+        protected=protected,
+        expected_sessions=2,
+        topology="parking-lot",
+        topology_params={
+            "hops": hops,
+            "bottleneck_bandwidth_bps": 3 * config.fair_share_bps,
+        },
+        sessions=(
+            SessionDecl(
+                "colluders",
+                receivers=0,
+                population=(
+                    CohortDecl(
+                        publishers,
+                        router="r1",
+                        model=model,
+                        attack=AttackSpec(
+                            "collusion",
+                            start_s=attack_start_s,
+                            intensity=intensity,
+                            params=pool_params,
+                        ),
+                    ),
+                    CohortDecl(
+                        exploiters,
+                        router=last,
+                        model=model,
+                        attack=AttackSpec(
+                            "collusion",
+                            start_s=attack_start_s,
+                            intensity=intensity,
+                            params=pool_params,
+                        ),
+                    ),
+                ),
+            ),
+            SessionDecl(
+                "audience",
+                receivers=0,
+                population=(CohortDecl(receivers, router=last, model=model),),
+            ),
+        ),
+        cbr=(
+            CbrDecl(
+                "squeeze",
+                rate_bps=2 * config.fair_share_bps,
+                on_s=5.0,
+                off_s=2.0,
+                active_window=(attack_start_s, effective_duration),
+                receiver_router=last,
+            ),
+        ),
+        duration_s=duration_s,
+        config=config,
+    )
+
+
+register_scenario(
+    "attack-collusion-100k",
+    "Publisher and exploiting collusion cohorts pooling keys across the "
+    "parking lot while a CBR burst squeezes the exploiters' hop — §4.3 key "
+    "sharing against a 100,000-receiver honest audience",
+)(attack_collusion_100k_spec)
+
+
 def attack_churn_flash_crowd_spec(
     initial: int = 100,
     surge: int = 99_900,
@@ -423,6 +603,7 @@ register_scenario(
 def scale_protection_spec(
     audience: int = 10_000,
     attacker_fraction: float = 0.01,
+    strategy: str = "inflated-join",
     protected: bool = True,
     attack_start_s: float = 10.0,
     duration_s: Optional[float] = 30.0,
@@ -432,8 +613,9 @@ def scale_protection_spec(
     """One point of the audience × attacker-fraction protection grid.
 
     ``attacker_fraction`` of the audience misbehaves (at least one member),
-    as an adversarial inflated-join cohort against the honest remainder —
-    the axis along which the paper's containment claim must stay flat.
+    as an adversarial cohort mounting ``strategy`` — any registered strategy,
+    the whole registry batches exactly — against the honest remainder: the
+    axes along which the paper's containment claim must stay flat.
     """
     if not 0.0 < attacker_fraction < 1.0:
         raise ValueError("attacker_fraction must be in (0, 1)")
@@ -456,7 +638,7 @@ def scale_protection_spec(
                     CohortDecl(
                         attackers,
                         model=model,
-                        attack=AttackSpec("inflated-join", start_s=attack_start_s),
+                        attack=AttackSpec(strategy, start_s=attack_start_s),
                     ),
                 ),
             ),
@@ -468,15 +650,16 @@ def scale_protection_spec(
 
 register_scenario(
     "scale-protection",
-    "One audience × attacker-fraction grid point: an inflated-join attacker "
-    "cohort sized as a fraction of the honest audience "
-    "(run_scale_protection_sweep fans the full grid)",
+    "One audience × attacker-fraction × strategy grid point: an attacker "
+    "cohort sized as a fraction of the honest audience, mounting any "
+    "registered strategy (run_scale_protection_sweep fans the full grid)",
 )(scale_protection_spec)
 
 
 def run_scale_protection_sweep(
     audiences: Sequence[int] = (1_000, 10_000, 100_000),
     attacker_fractions: Sequence[float] = (0.001, 0.01, 0.1),
+    strategies: Sequence[str] = ("inflated-join",),
     jobs: int = 1,
     seeds: Sequence[int] = (0,),
     duration_s: float = 30.0,
@@ -484,17 +667,20 @@ def run_scale_protection_sweep(
     protected: bool = True,
     config: ExperimentConfig = PAPER_DEFAULTS,
 ) -> List[RunResult]:
-    """Fan the audience × attacker-fraction grid through the runner.
+    """Fan the audience × attacker-fraction × strategy grid through the runner.
 
     Returns one :class:`~repro.experiments.runner.RunResult` per (audience,
-    fraction, seed), in grid order — each carrying the population-weighted
-    ``protection`` block.  ``examples/attack_at_scale.py`` renders the grid
-    as a containment table.
+    fraction, strategy, seed), in grid order — each carrying the
+    population-weighted ``protection`` block.  ``strategies`` defaults to
+    the historical inflated-join axis; pass e.g. ``("key-replay",
+    "key-guessing", "collusion")`` for the batched key-oriented sweep rows.
+    ``examples/attack_at_scale.py`` renders the grid as a containment table.
     """
     specs = [
         scale_protection_spec(
             audience=audience,
             attacker_fraction=fraction,
+            strategy=strategy,
             protected=protected,
             attack_start_s=attack_start_s,
             duration_s=duration_s,
@@ -502,6 +688,7 @@ def run_scale_protection_sweep(
         ).with_seed(seed)
         for audience in audiences
         for fraction in attacker_fractions
+        for strategy in strategies
         for seed in seeds
     ]
     return ExperimentRunner(jobs=jobs).run(specs)

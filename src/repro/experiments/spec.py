@@ -25,7 +25,7 @@ import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
 
-from ..adversary.spec import COHORT_BATCHED_STRATEGIES, AttackSpec
+from ..adversary.spec import AttackSpec
 from ..multicast_cc.churn import ChurnProcess
 from .config import PAPER_DEFAULTS, ExperimentConfig
 
@@ -62,7 +62,7 @@ class CohortDecl:
     ``start_s`` is the members' shared join time.
 
     ``attack`` makes the block an **adversarial cohort**: every member
-    mounts the declared strategy (batch-exact strategies only —
+    mounts the declared strategy (the whole registry batches exactly —
     :data:`~repro.adversary.spec.COHORT_BATCHED_STRATEGIES`; the attack's
     ``receivers`` indices are ignored, the block itself is the target).
     ``churn`` drives the member count by a deterministic
@@ -99,12 +99,9 @@ class CohortDecl:
                     "cohorts only applies to aggregated models; individual "
                     "receivers are already one object per member"
                 )
-        if self.attack is not None and self.attack.strategy not in COHORT_BATCHED_STRATEGIES:
-            raise ValueError(
-                f"strategy {self.attack.strategy!r} does not batch exactly over "
-                f"a cohort (batch-exact: {sorted(COHORT_BATCHED_STRATEGIES)}); "
-                "declare individual receivers for randomised attacks"
-            )
+        # Every declarable strategy batches exactly over a cohort: AttackSpec
+        # itself rejects registered strategies without batched decision rules
+        # (BATCHED_DECISION_RULES), so no per-model gate is needed here.
         if self.churn is not None and (
             self.model != "cohort" or (self.cohorts or 1) != 1
         ):

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.delta.base import ReconstructionResult
 
@@ -50,6 +50,9 @@ __all__ = [
     "reconstruct_ds_batch",
     "merge_rows",
     "attack_target_level",
+    "attack_rate",
+    "forbidden_groups",
+    "forbidden_count_array",
     "decide_inflated_join",
     "decide_inflated_join_batch",
     "decide_inflated_join_array",
@@ -59,6 +62,14 @@ __all__ = [
     "decide_churn",
     "decide_churn_batch",
     "decide_churn_array",
+    "replay_volley",
+    "replay_volley_batch",
+    "guess_volley",
+    "guess_volley_batch",
+    "decide_join_storm",
+    "decide_join_storm_batch",
+    "collusion_volley",
+    "collusion_volley_batch",
 ]
 
 #: One columnar row of a cohort state block: ``(receiver count, level)``.
@@ -388,6 +399,188 @@ def decide_churn_batch(
         lambda _level: decide_churn(
             phase_high, was_high, entitled_level, group_count, joined
         ),
+    )
+
+
+def attack_rate(per_slot: float, intensity: float) -> int:
+    """Per-slot action count of a rate-scaled attack knob.
+
+    Every volume knob (replays per group, guesses per slot, storm bursts)
+    scales by the attack's ``intensity`` and is floored at one action — an
+    active attacker always acts.  Shared by the replay, guessing and
+    join-storm rules so intensity sweeps mean the same thing everywhere.
+    """
+    return max(1, round(per_slot * intensity))
+
+
+def forbidden_groups(entitled_level: int, group_count: int) -> Tuple[int, ...]:
+    """The (1-based) groups above a receiver's legitimate entitlement.
+
+    The target set of every key-oriented attack: a receiver entitled to
+    ``entitled_level`` may not hold groups ``entitled_level + 1 ..
+    group_count``.  Fully entitled receivers have no forbidden groups.
+    """
+    return tuple(range(entitled_level + 1, group_count + 1))
+
+
+def forbidden_count_array(
+    levels: Sequence[int], group_count: int
+) -> Sequence[int]:
+    """Array-form forbidden-group count over an entitlement column.
+
+    Semantically ``[len(forbidden_groups(level, group_count)) for level in
+    levels]`` — the per-row attempt weight of a key-oriented attack over a
+    columnar block, clamped at zero for fully (or over-) entitled rows.
+    The result has the input column's flavour.
+    """
+    if _np is not None and isinstance(levels, _np.ndarray):
+        return _np.clip(group_count - levels, 0, None)
+    return _like(levels, [max(0, group_count - int(level)) for level in levels])
+
+
+def replay_volley(
+    candidates: Sequence[int],
+    entitled_level: int,
+    group_count: int,
+    per_group: int,
+) -> Tuple[Tuple[int, int], ...]:
+    """The (group, key) submissions of one key-replay slot (§4.1).
+
+    For every forbidden group the attacker replays the ``per_group``
+    freshest stashed keys (``candidates`` is the stash flattened newest
+    first), in group-major order.  Pure counterpart of
+    :class:`~repro.adversary.strategies.KeyReplayStrategy`'s volley;
+    no randomness — the stash is a deterministic function of the honest
+    pipeline's reconstructions.
+    """
+    replayed = tuple(candidates[:per_group])
+    return tuple(
+        (group, key)
+        for group in forbidden_groups(entitled_level, group_count)
+        for key in replayed
+    )
+
+
+def replay_volley_batch(
+    rows: Sequence[Row],
+    candidates: Sequence[int],
+    group_count: int,
+    per_group: int,
+) -> List[Tuple[int, Tuple[Tuple[int, int], ...]]]:
+    """Batched key-replay volley over ``(count, entitled level)`` rows.
+
+    Defined as :func:`replay_volley` mapped over rows (evaluated once per
+    distinct entitlement), so a replaying cohort of N attackers submits the
+    same pairs — booked at N members' weight — as N individuals sharing the
+    same stash would.
+    """
+    return _batch_rows(
+        rows,
+        lambda level: replay_volley(candidates, level, group_count, per_group),
+    )
+
+
+def guess_volley(
+    entitled_level: int,
+    group_count: int,
+    guesses: int,
+    draws: Sequence[int],
+) -> Tuple[Tuple[int, int], ...]:
+    """The (group, key) submissions of one key-guessing slot (§4.2).
+
+    ``draws`` is the slot's random-key budget, drawn *once per cohort* from
+    the strategy's seeded stream and consumed positionally: draw ``i`` is
+    submitted for forbidden group ``i // guesses`` — exactly the
+    group-major order the per-object strategy draws in, so an individual
+    receiver's byte trace is unchanged.  Raises when the budget can't cover
+    ``guesses`` per forbidden group; surplus draws are ignored (a batched
+    caller sizes the budget for its deepest row).
+    """
+    targets = forbidden_groups(entitled_level, group_count)
+    needed = len(targets) * guesses
+    if len(draws) < needed:
+        raise ValueError(
+            f"guess volley needs {needed} draws "
+            f"({len(targets)} forbidden groups x {guesses} guesses), got {len(draws)}"
+        )
+    return tuple(
+        (targets[index // guesses], int(draws[index])) for index in range(needed)
+    )
+
+
+def guess_volley_batch(
+    rows: Sequence[Row],
+    group_count: int,
+    guesses: int,
+    draws: Sequence[int],
+) -> List[Tuple[int, Tuple[Tuple[int, int], ...]]]:
+    """Batched key-guessing volley over ``(count, entitled level)`` rows.
+
+    Defined as :func:`guess_volley` mapped over rows with the *same* shared
+    draw budget (evaluated once per distinct entitlement) — the per-cohort
+    randomness model: one seeded draw sequence per slot covers the whole
+    cohort, counts are booked per member.
+    """
+    return _batch_rows(
+        rows, lambda level: guess_volley(level, group_count, guesses, draws)
+    )
+
+
+def decide_join_storm(bursts: int, group_count: int) -> Tuple[int, ...]:
+    """The IGMP join sequence of one join-storm slot.
+
+    ``bursts`` repetitions of a full group sweep, in ascending group order —
+    exactly ``bursts`` calls of the context's ``igmp_join_all``.  Stateless
+    and randomness-free; a SIGMA edge ignores every report.
+    """
+    return tuple(range(1, group_count + 1)) * bursts
+
+
+def decide_join_storm_batch(
+    rows: Sequence[Row], bursts: int, group_count: int
+) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Batched join-storm sequence over ``(count, level)`` rows.
+
+    The storm ignores subscription state entirely, so every row maps to the
+    same :func:`decide_join_storm` sweep — evaluated once and shared, with
+    each row's joins booked at its member count.
+    """
+    return _batch_rows(rows, lambda _level: decide_join_storm(bursts, group_count))
+
+
+def collusion_volley(
+    pooled: Mapping[int, int],
+    entitled_level: int,
+    group_count: int,
+) -> Tuple[Tuple[int, int], ...]:
+    """The (group, key) submissions of one collusion slot (§4.3).
+
+    For every forbidden group that some colluder published a key for, submit
+    the pooled key, in ascending group order.  Pure counterpart of
+    :class:`~repro.adversary.strategies.CollusionStrategy`'s exploit pass;
+    the pool state is the only input — no randomness.
+    """
+    return tuple(
+        (group, pooled[group])
+        for group in forbidden_groups(entitled_level, group_count)
+        if group in pooled
+    )
+
+
+def collusion_volley_batch(
+    rows: Sequence[Row],
+    pooled: Mapping[int, int],
+    group_count: int,
+) -> List[Tuple[int, Tuple[Tuple[int, int], ...]]]:
+    """Batched collusion volley over ``(count, entitled level)`` rows.
+
+    Defined as :func:`collusion_volley` mapped over rows (evaluated once per
+    distinct entitlement) against one shared pool snapshot, so a colluding
+    cohort of N members submits — and books, member-weighted — exactly what
+    N individual colluders reading the same pool would.
+    """
+    return _batch_rows(
+        rows, lambda level: collusion_volley(pooled, level, group_count)
     )
 
 

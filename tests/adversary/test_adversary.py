@@ -246,6 +246,18 @@ class TestCollusionPool:
         assert pool.keys_for(10) == {}  # pruned: far in the past
         assert pool.published == 3
 
+    def test_member_weighted_publish_books_cohort_shares(self):
+        """One cohort publish with members=N == N identical individual ones."""
+        cohort_pool = CollusionPool("c")
+        cohort_pool.publish(10, {1: 111, 2: 222}, members=3)
+        individual_pool = CollusionPool("i")
+        for _ in range(3):
+            individual_pool.publish(10, {1: 111, 2: 222})
+        assert cohort_pool.keys_for(10) == individual_pool.keys_for(10)
+        assert cohort_pool.published == individual_pool.published == 6
+        cohort_pool.publish(10, {}, members=3)  # empty publishes book nothing
+        assert cohort_pool.published == 6
+
     def test_pools_are_scoped_per_network(self):
         from repro.simulator.topology import DumbbellConfig, DumbbellNetwork
 

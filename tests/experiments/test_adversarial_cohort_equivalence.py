@@ -15,8 +15,13 @@ seed — what ``model="individual"`` produces member for member:
 * identical attack counters (the cohort's context books per member; the
   individual realisation's counters are summed across members).
 
-Randomised strategies cannot batch (each member draws its own keys), which
-the spec layer rejects up front — also asserted here.
+Since PR 8 the contract spans the **whole adversary registry** — the
+formerly randomised strategies draw per-cohort randomness (one seeded draw
+budget per slot, counts booked per member) and collusion pools accept
+member-weighted contributions, so key-replay, key-guessing, join-storm and
+collusion batch exactly too.  A strategy registered *without* batched
+decision rules is rejected at ``AttackSpec`` declaration — also asserted
+here.
 """
 
 import itertools
@@ -36,8 +41,16 @@ POPULATION = 3
 DURATION_S = 16.0
 ATTACK_START_S = 6.0
 
-#: The batch-exact strategies (docs/threat-model.md's scale-limits table).
-STRATEGIES = ("inflated-join", "ignore-congestion", "churn")
+#: The batch-exact strategies — the whole registry (docs/threat-model.md).
+STRATEGIES = (
+    "inflated-join",
+    "ignore-congestion",
+    "churn",
+    "key-replay",
+    "key-guessing",
+    "join-storm",
+    "collusion",
+)
 
 
 def _spec(protected: bool, model: str, strategy: str) -> ScenarioSpec:
@@ -115,15 +128,19 @@ def test_identical_per_member_goodput(pair):
 
 def test_identical_attack_counters(pair):
     """Cohort attack counters equal the member-wise sum of individuals'."""
-    _, strategy, cohort, individual = pair
+    protected, strategy, cohort, individual = pair
     cohort_stats = cohort.sessions[0].receivers[0].adversary_stats()
     summed = {
         key: sum(r.adversary_stats()[key] for r in individual.sessions[0].receivers)
         for key in cohort_stats
     }
     assert cohort_stats == summed
-    if strategy in ("inflated-join", "churn"):
+    if strategy in ("inflated-join", "churn", "join-storm"):
         assert cohort_stats["igmp_attempts"] > 0  # the attack actually ran
+    if protected and strategy == "key-guessing":
+        assert cohort_stats["guess_attempts"] > 0
+    if protected and strategy == "key-replay":
+        assert cohort_stats["replay_attempts"] > 0
 
 
 def test_identical_sigma_counters(pair):
@@ -149,11 +166,38 @@ def test_identical_igmp_counters(pair):
     assert a.leaves_handled == b.leaves_handled
 
 
-def test_randomised_strategies_rejected_on_cohorts():
-    """Strategies drawing per-attacker randomness cannot batch."""
-    for strategy in ("key-guessing", "key-replay", "collusion", "join-storm"):
-        with pytest.raises(ValueError, match="batch"):
-            CohortDecl(3, attack=AttackSpec(strategy))
+def test_every_registered_strategy_declares_on_cohorts():
+    """The whole registry batches: every strategy is declarable on a cohort."""
+    for strategy in STRATEGIES:
+        decl = CohortDecl(3, attack=AttackSpec(strategy))
+        assert decl.attack.strategy == strategy
+
+
+def test_strategy_without_batched_rules_rejected_at_declaration():
+    """A registered strategy missing its decision.py rules fails AttackSpec.
+
+    The actionable error names the module to extend and the gate to satisfy,
+    so a new strategy cannot ship half-batched.
+    """
+    from repro.adversary import AttackStrategy
+    from repro.adversary.registry import ADVERSARIES, register_adversary
+
+    class UnbatchedStrategy(AttackStrategy):
+        name = "test-unbatched"
+
+    register_adversary(UnbatchedStrategy)
+    try:
+        with pytest.raises(ValueError) as excinfo:
+            AttackSpec("test-unbatched")
+        message = str(excinfo.value)
+        assert "repro.multicast_cc.decision" in message
+        assert "BATCHED_DECISION_RULES" in message
+        assert "exhaustive" in message
+    finally:
+        del ADVERSARIES["test-unbatched"]
+    # Unknown (unregistered) names still defer to the build-time KeyError.
+    spec = AttackSpec("no-such-strategy")
+    assert spec.strategy == "no-such-strategy"
 
 
 def test_adversarial_cohorts_refuse_churn_at_the_class_level():

@@ -41,7 +41,16 @@ DURATION_S = 20.0
 ATTACK_DURATION_S = 16.0
 ATTACK_START_S = 6.0
 
-STRATEGIES = ("inflated-join", "ignore-congestion", "churn")
+#: Every registered strategy batches exactly — including over vector blocks.
+STRATEGIES = (
+    "inflated-join",
+    "ignore-congestion",
+    "churn",
+    "key-replay",
+    "key-guessing",
+    "join-storm",
+    "collusion",
+)
 BACKENDS = ("numpy", "fallback")
 
 
@@ -250,8 +259,13 @@ def test_identical_attack_counters(attack_pair):
     _, strategy, vector, cohort = attack_pair
     vector_stats = vector.sessions[0].receivers[0].adversary_stats()
     assert vector_stats == cohort.sessions[0].receivers[0].adversary_stats()
-    if strategy in ("inflated-join", "churn"):
+    if strategy in ("inflated-join", "churn", "join-storm"):
         assert vector_stats["igmp_attempts"] > 0  # the attack actually ran
+    protected = attack_pair[0]
+    if protected and strategy == "key-guessing":
+        assert vector_stats["guess_attempts"] > 0
+    if protected and strategy == "key-replay":
+        assert vector_stats["replay_attempts"] > 0
 
 
 def test_identical_protection_counters(attack_pair):

@@ -41,6 +41,15 @@ CASES = {
     "attack-inflated-100k": dict(
         receivers=2000, attackers=5, attack_start_s=6.0, duration_s=18.0
     ),
+    # The key-oriented attacks at golden-friendly scale: these digests lock
+    # the per-cohort randomness (one seeded draw budget per slot) and the
+    # member-weighted collusion pool byte-for-byte.
+    "attack-keys-100k": dict(
+        receivers=2000, replayers=5, guessers=5, attack_start_s=6.0, duration_s=18.0
+    ),
+    "attack-collusion-100k": dict(
+        receivers=2000, publishers=5, exploiters=5, attack_start_s=6.0, duration_s=18.0
+    ),
     "attack-churn-flash-crowd": dict(
         initial=50, surge=1950, surge_at_s=8.0, attack_start_s=6.0, duration_s=18.0
     ),

@@ -1,37 +1,40 @@
-"""Property tests: the batched FLID decision functions vs the scalar ones.
+"""Decision-function tests: scalar behaviour, ordering and flavour contracts.
 
-The batched functions must be *definitionally* the scalar function mapped
-over ``(count, level)`` rows — same outcome for every row, counts preserved,
-reconstruction invoked at most once per distinct level.  Hypothesis drives
-arbitrary row blocks, congestion flags and upgrade-authorisation sets.
+The batch == N x scalar and array == batch *equivalence* proofs live in the
+exhaustive small-model harness (``tests/properties/exhaustive.py`` — every
+(count, level, phase, key-state, rng-draw) tuple below the bounds, for every
+rule in :data:`repro.adversary.spec.BATCHED_DECISION_RULES`); the sampled
+Hypothesis batch-vs-scalar checks that used to live here are retired.  What
+remains are the scalar rules' behavioural properties at *large* bounds
+(10k-receiver rows, wide float grids), the ordering/compaction invariants,
+and a real-DELTA integration check of the batched reconstruction.
 """
 
 import itertools
 from array import array
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.delta import LayeredDeltaReceiver
 from repro.core.delta.base import ReceiverSlotObservation
 from repro.multicast_cc.decision import (
-    _batch_rows,
+    attack_rate,
     attack_target_level,
     churn_phase,
-    churn_phase_array,
+    collusion_volley,
     decide_churn,
     decide_churn_array,
-    decide_churn_batch,
     decide_dl,
     decide_dl_array,
     decide_dl_batch,
-    decide_inflated_join,
-    decide_inflated_join_array,
-    decide_inflated_join_batch,
+    decide_join_storm,
+    guess_volley,
     mask_congestion,
     merge_rows,
     reconstruct_ds_batch,
+    replay_volley,
 )
 from repro.multicast_cc.population import numpy_available
 
@@ -42,37 +45,6 @@ rows_strategy = st.lists(
     min_size=1,
     max_size=8,
 )
-upgrades_strategy = st.frozensets(st.integers(min_value=1, max_value=GROUP_COUNT + 1), max_size=6)
-
-
-@given(rows=rows_strategy, congested=st.booleans(), upgrades=upgrades_strategy)
-def test_dl_batch_equals_scalar_map(rows, congested, upgrades):
-    """Each batched row outcome equals the scalar decision on its level."""
-    outcomes = decide_dl_batch(rows, congested, upgrades, GROUP_COUNT)
-    assert [count for count, _ in outcomes] == [count for count, _ in rows]
-    for (count, level), (_, decision) in zip(rows, outcomes):
-        assert decision == decide_dl(level, congested, upgrades, GROUP_COUNT)
-
-
-@given(rows=rows_strategy, congested=st.booleans(), upgrades=upgrades_strategy)
-def test_dl_batch_evaluates_each_level_once(rows, congested, upgrades):
-    """The batched form's cost is O(distinct levels), not O(receivers)."""
-    calls = []
-    original = decide_dl
-
-    def counting(level, *args):
-        calls.append(level)
-        return original(level, *args)
-
-    import repro.multicast_cc.decision as decision_module
-
-    decision_module.decide_dl, saved = counting, decision_module.decide_dl
-    try:
-        decide_dl_batch(rows, congested, upgrades, GROUP_COUNT)
-    finally:
-        decision_module.decide_dl = saved
-    assert sorted(set(calls)) == sorted({level for _, level in rows})
-    assert len(calls) == len({level for _, level in rows})
 
 
 @given(rows=rows_strategy)
@@ -87,56 +59,49 @@ def test_merge_rows_preserves_population(rows):
         assert (expected, level) in merged
 
 
-@st.composite
-def ds_observations(draw):
-    """A synthetic per-slot observation shared by a whole cohort."""
-    components = {
-        g: draw(st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=4))
-        for g in range(1, GROUP_COUNT + 1)
-    }
-    decreases = {
-        g: draw(st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=2))
-        for g in range(2, GROUP_COUNT + 1)
-    }
-    lost = draw(st.frozensets(st.integers(min_value=1, max_value=GROUP_COUNT), max_size=4))
-    upgrades = draw(st.frozensets(st.integers(min_value=1, max_value=GROUP_COUNT), max_size=4))
-    return ReceiverSlotObservation(
-        subscription_level=0,  # overwritten per row below
-        components=components,
-        decrease_fields=decreases,
-        lost_groups=lost,
-        upgrade_authorized=upgrades,
-    )
+def test_ds_batch_real_delta_reconstruction_exhaustive_levels():
+    """Batched DELTA reconstruction == per-member scalar, on the real codec.
 
-
-@settings(max_examples=50)
-@given(rows=rows_strategy, observation=ds_observations())
-def test_ds_batch_equals_scalar_map(rows, observation):
-    """Batched DELTA reconstruction equals per-member scalar reconstruction."""
+    A fixed synthetic observation, every subscription level, every row count
+    1..3 — the real :class:`LayeredDeltaReceiver` integration of the generic
+    ``reconstruct_ds_batch`` contract the exhaustive harness proves with a
+    recording callable.
+    """
     import dataclasses
 
+    observation = ReceiverSlotObservation(
+        subscription_level=0,
+        components={g: [g, g + 1, 0xBEEF] for g in range(1, GROUP_COUNT + 1)},
+        decrease_fields={g: [g ^ 0xFF] for g in range(2, GROUP_COUNT + 1)},
+        lost_groups=frozenset({2, 5}),
+        upgrade_authorized=frozenset({1, 3, 7}),
+    )
     receiver = LayeredDeltaReceiver(GROUP_COUNT)
-    reconstruct_calls = []
+    calls = []
 
     def reconstruct_for(level):
-        reconstruct_calls.append(level)
+        calls.append(level)
         return receiver.reconstruct(
             dataclasses.replace(observation, subscription_level=level)
         )
 
-    outcomes = reconstruct_ds_batch(rows, reconstruct_for)
-    assert [count for count, _ in outcomes] == [count for count, _ in rows]
-    assert len(reconstruct_calls) == len({level for _, level in rows})
-    for (count, level), (_, result) in zip(rows, outcomes):
-        scalar = receiver.reconstruct(
-            dataclasses.replace(observation, subscription_level=level)
-        )
-        assert result.next_level == scalar.next_level
-        assert result.keys == scalar.keys
+    for count in (1, 2, 3):
+        rows = [(count, level) for level in range(0, GROUP_COUNT + 1)]
+        calls.clear()
+        outcomes = reconstruct_ds_batch(rows, reconstruct_for)
+        assert [c for c, _ in outcomes] == [c for c, _ in rows]
+        assert calls == [level for _, level in rows]
+        for (_, level), (_, result) in zip(rows, outcomes):
+            scalar = receiver.reconstruct(
+                dataclasses.replace(observation, subscription_level=level)
+            )
+            assert result.next_level == scalar.next_level
+            assert result.keys == scalar.keys
 
 
 # ----------------------------------------------------------------------
-# attack decisions: batched forms equal the scalar map (adversarial cohorts)
+# attack decisions: scalar behaviour at large bounds (equivalence proofs
+# live in tests/properties/exhaustive.py)
 # ----------------------------------------------------------------------
 @given(
     intensity=st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
@@ -148,14 +113,65 @@ def test_attack_target_level_stays_in_range(intensity, group_count):
     assert 1 <= target <= group_count
 
 
-@given(rows=rows_strategy, target=st.integers(min_value=1, max_value=GROUP_COUNT))
-def test_inflated_join_batch_equals_scalar_map(rows, target):
-    """Each batched row outcome equals the scalar frozen-subscription rule."""
-    outcomes = decide_inflated_join_batch(rows, target)
-    assert [count for count, _ in outcomes] == [count for count, _ in rows]
-    for (count, level), (_, decision) in zip(rows, outcomes):
-        assert decision == decide_inflated_join(level, target)
-        assert decision.next_level == target
+@given(
+    per_slot=st.floats(min_value=0.01, max_value=64.0, allow_nan=False),
+    intensity=st.floats(min_value=0.01, max_value=64.0, allow_nan=False),
+)
+def test_attack_rate_floors_at_one(per_slot, intensity):
+    """An active attacker always acts at least once per slot."""
+    assert attack_rate(per_slot, intensity) == max(1, round(per_slot * intensity))
+
+
+@given(
+    entitled=st.integers(min_value=0, max_value=GROUP_COUNT),
+    per_group=st.integers(min_value=1, max_value=8),
+    candidates=st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=8),
+)
+def test_replay_volley_targets_only_forbidden_groups(entitled, per_group, candidates):
+    """Replays land group-major on forbidden groups, freshest keys first."""
+    volley = replay_volley(candidates, entitled, GROUP_COUNT, per_group)
+    replayed = candidates[:per_group]
+    assert len(volley) == (GROUP_COUNT - entitled) * len(replayed)
+    for group, key in volley:
+        assert entitled < group <= GROUP_COUNT
+        assert key in replayed
+
+
+@given(
+    entitled=st.integers(min_value=0, max_value=GROUP_COUNT),
+    guesses=st.integers(min_value=1, max_value=4),
+)
+def test_guess_volley_consumes_draws_group_major(entitled, guesses):
+    """Draw i pairs forbidden group i // guesses; undersized budgets raise."""
+    needed = (GROUP_COUNT - entitled) * guesses
+    draws = list(range(1000, 1000 + needed))
+    volley = guess_volley(entitled, GROUP_COUNT, guesses, draws)
+    assert [key for _, key in volley] == draws
+    forbidden = list(range(entitled + 1, GROUP_COUNT + 1))
+    assert [group for group, _ in volley] == [
+        forbidden[i // guesses] for i in range(needed)
+    ]
+    if needed:
+        with pytest.raises(ValueError, match="draws"):
+            guess_volley(entitled, GROUP_COUNT, guesses, draws[:-1])
+
+
+def test_join_storm_sweeps_groups_in_order():
+    """The storm is bursts x a full ascending group sweep."""
+    assert decide_join_storm(2, 3) == (1, 2, 3, 1, 2, 3)
+    assert decide_join_storm(1, 1) == (1,)
+
+
+@given(entitled=st.integers(min_value=0, max_value=GROUP_COUNT))
+def test_collusion_volley_submits_only_pooled_forbidden_keys(entitled):
+    """Pooled keys for forbidden groups are submitted in ascending order."""
+    pooled = {g: g * 100 for g in range(1, GROUP_COUNT + 1, 2)}
+    volley = collusion_volley(pooled, entitled, GROUP_COUNT)
+    assert volley == tuple(
+        (g, pooled[g])
+        for g in range(entitled + 1, GROUP_COUNT + 1)
+        if g in pooled
+    )
 
 
 @given(congested=st.booleans())
@@ -177,24 +193,6 @@ def test_churn_phase_duty_cycle(elapsed, period, duty):
     assert high == ((elapsed % period) < clamped * period)
     if clamped == 0.0:
         assert not high
-
-
-@given(
-    rows=rows_strategy,
-    phase_high=st.booleans(),
-    was_high=st.booleans(),
-    entitled=st.integers(min_value=0, max_value=GROUP_COUNT),
-    joined=st.frozensets(st.integers(min_value=1, max_value=GROUP_COUNT), max_size=8),
-)
-def test_churn_batch_equals_scalar_map(rows, phase_high, was_high, entitled, joined):
-    """Batched churn actions equal the scalar decision for every row."""
-    outcomes = decide_churn_batch(
-        rows, phase_high, was_high, entitled, GROUP_COUNT, sorted(joined)
-    )
-    assert [count for count, _ in outcomes] == [count for count, _ in rows]
-    scalar = decide_churn(phase_high, was_high, entitled, GROUP_COUNT, sorted(joined))
-    for _count, action in outcomes:
-        assert action == scalar
 
 
 # ----------------------------------------------------------------------
@@ -248,48 +246,6 @@ def test_dl_array_exhaustive_small_model():
             assert type(result) is type(column)
 
 
-@given(rows=rows_strategy, congested=st.booleans(), upgrades=upgrades_strategy)
-def test_dl_array_equals_scalar_map(rows, congested, upgrades):
-    """Arbitrary level columns: the array rule is the scalar map, pointwise."""
-    levels = [level for _, level in rows]
-    expected = [
-        decide_dl(level, congested, upgrades, GROUP_COUNT).next_level
-        for level in levels
-    ]
-    for flavour, column in _flavours(levels):
-        result = decide_dl_array(column, congested, upgrades, GROUP_COUNT)
-        assert [int(v) for v in result] == expected, flavour
-
-
-@given(rows=rows_strategy, target=st.integers(min_value=1, max_value=GROUP_COUNT))
-def test_inflated_join_array_equals_scalar_map(rows, target):
-    """The array pin rule equals the scalar rule in every flavour."""
-    levels = [level for _, level in rows]
-    expected = [decide_inflated_join(level, target).next_level for level in levels]
-    for flavour, column in _flavours(levels):
-        result = decide_inflated_join_array(column, target)
-        assert [int(v) for v in result] == expected, flavour
-        assert type(result) is type(column)
-
-
-@given(
-    elapsed=st.lists(
-        st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=8
-    ),
-    period=st.floats(min_value=1e-3, max_value=100.0, allow_nan=False),
-    duty=st.floats(min_value=-1.0, max_value=2.0, allow_nan=False),
-)
-def test_churn_phase_array_equals_scalar_map(elapsed, period, duty):
-    """The array churn-phase rule equals the scalar cycle, element-wise."""
-    expected = [churn_phase(value, period, duty) for value in elapsed]
-    assert churn_phase_array(elapsed, period, duty) == expected
-    if numpy_available():
-        import numpy as np
-
-        result = churn_phase_array(np.asarray(elapsed, dtype=np.float64), period, duty)
-        assert [bool(v) for v in result] == expected
-
-
 def test_churn_array_exhaustive_phase_pairs():
     """All four (phase, was) transitions, enumerated over small columns."""
     joined = (1, 2, 5)
@@ -327,23 +283,6 @@ def test_merge_rows_sums_counts_in_input_order():
     """Equal-level counts coalesce; the result is the sorted per-level sums."""
     rows = [(3, 2), (1, 0), (4, 2), (2, 7)]
     assert merge_rows(rows) == [(1, 0), (7, 2), (2, 7)]
-
-
-@given(rows=rows_strategy)
-def test_batch_rows_preserves_row_order_and_first_appearance(rows):
-    """Row i of the output pairs row i of the input; levels decided in
-    first-appearance order (the booking-order contract of the docstring)."""
-    calls = []
-
-    def decide(level):
-        calls.append(level)
-        return ("decision", level)
-
-    out = _batch_rows(rows, decide)
-    assert [count for count, _ in out] == [count for count, _ in rows]
-    assert [d for _, d in out] == [("decision", level) for _, level in rows]
-    first_appearance = list(dict.fromkeys(level for _, level in rows))
-    assert calls == first_appearance
 
 
 @given(

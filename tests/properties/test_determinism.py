@@ -180,7 +180,9 @@ def scale_attack_specs():
     """Reduced variants of the adversarial-cohort / flash-crowd scenarios."""
     from repro.experiments import (
         attack_churn_flash_crowd_spec,
+        attack_collusion_100k_spec,
         attack_inflated_100k_spec,
+        attack_keys_100k_spec,
         scale_protection_spec,
     )
 
@@ -188,11 +190,21 @@ def scale_attack_specs():
         attack_inflated_100k_spec(
             receivers=300, attackers=3, duration_s=8.0, attack_start_s=2.0
         ),
+        attack_keys_100k_spec(
+            receivers=300, replayers=3, guessers=3, duration_s=8.0, attack_start_s=2.0
+        ),
+        attack_collusion_100k_spec(
+            receivers=300, publishers=3, exploiters=3, duration_s=8.0, attack_start_s=2.0
+        ),
         attack_churn_flash_crowd_spec(
             initial=30, surge=270, surge_at_s=4.0, attack_start_s=2.0, duration_s=8.0
         ),
         scale_protection_spec(
-            audience=200, attacker_fraction=0.05, duration_s=8.0, attack_start_s=2.0
+            audience=200,
+            attacker_fraction=0.05,
+            strategy="key-guessing",
+            duration_s=8.0,
+            attack_start_s=2.0,
         ),
     ]
 

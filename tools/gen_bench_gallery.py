@@ -136,6 +136,18 @@ def _headline(lines: List[str]) -> None:
                 f"{_fmt(sharding.get('measured_speedup'))}× on "
                 f"{_fmt(sharding.get('cpus'))} CPU) | `BENCH_scale.json` |"
             )
+        batched = metrics.get("batched_attacks", {})
+        for name in sorted(batched.get("scenarios", {})):
+            block = batched["scenarios"][name]
+            cohort = block.get("cohort", {})
+            lines.append(
+                f"| Batched `{name}` attacker cohort vs per-object reference "
+                f"({_fmt(batched.get('per_object_cap'))} rx cap) | "
+                f"{_fmt(block.get('speedup_receivers_per_sec'))}× "
+                f"({_fmt(cohort.get('receivers_per_sec'))} rx/s at "
+                f"{_fmt(cohort.get('receivers'))} receivers; floor "
+                f"{_fmt(batched.get('min_speedup'))}×) | `BENCH_scale.json` |"
+            )
         protection = metrics.get("protection_at_scale", {})
         if protection:
             lines.append(
