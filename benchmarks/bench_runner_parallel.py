@@ -38,32 +38,47 @@ def test_parallel_seed_sweep_matches_serial(benchmark, bench_config, bench_recor
     )
 
     def run():
+        serial_runner = ExperimentRunner(jobs=1)
+        parallel_runner = ExperimentRunner(jobs=4)
         t0 = time.perf_counter()
-        serial = ExperimentRunner(jobs=1).run_seed_sweep(spec, SEEDS)
+        serial = serial_runner.run_seed_sweep(spec, SEEDS)
         t1 = time.perf_counter()
-        parallel = ExperimentRunner(jobs=4).run_seed_sweep(spec, SEEDS)
+        parallel = parallel_runner.run_seed_sweep(spec, SEEDS)
         t2 = time.perf_counter()
-        return serial, parallel, t1 - t0, t2 - t1
+        return serial, parallel, t1 - t0, t2 - t1, serial_runner, parallel_runner
 
-    serial, parallel, serial_s, parallel_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    serial, parallel, serial_s, parallel_s, serial_runner, parallel_runner = (
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    )
 
     serial_json = [result.to_json() for result in serial]
     parallel_json = [result.to_json() for result in parallel]
     assert serial_json == parallel_json, "parallel path diverged from serial path"
 
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    # The checkpoint planner runs on every batch (a seed sweep plans and then
+    # declines — one lone prefix per seed); record its overhead separately so
+    # the recorded wall time decomposes into orchestration vs simulation.
+    serial_plan_s = serial_runner.plan_overhead_s + serial_runner.checkpoint_wall_s
+    parallel_plan_s = parallel_runner.plan_overhead_s + parallel_runner.checkpoint_wall_s
     rows = [
-        ("serial (jobs=1)", f"{serial_s:.2f}"),
-        ("parallel (jobs=4)", f"{parallel_s:.2f}"),
-        ("speedup", f"x{speedup:.2f}"),
+        ("serial (jobs=1)", f"{serial_s:.2f}", f"{serial_plan_s * 1e3:.1f}"),
+        ("parallel (jobs=4)", f"{parallel_s:.2f}", f"{parallel_plan_s * 1e3:.1f}"),
+        ("speedup", f"x{speedup:.2f}", ""),
     ]
     print(f"\nRunner — {len(list(SEEDS))}-seed Figure 8 sweep, serial vs 4 workers")
-    print(format_table(["path", "wall-clock (s)"], rows))
+    print(format_table(["path", "wall-clock (s)", "planner (ms)"], rows))
     cores = _available_cores()
     bench_record(
         {
             "serial_s": serial_s,
+            "serial_simulation_s": serial_s - serial_plan_s,
+            "serial_plan_overhead_s": serial_runner.plan_overhead_s,
+            "serial_checkpoint_wall_s": serial_runner.checkpoint_wall_s,
             "parallel_s": parallel_s,
+            "parallel_simulation_s": parallel_s - parallel_plan_s,
+            "parallel_plan_overhead_s": parallel_runner.plan_overhead_s,
+            "parallel_checkpoint_wall_s": parallel_runner.checkpoint_wall_s,
             "speedup": speedup,
             "seeds": len(list(SEEDS)),
             "cores": cores,

@@ -48,9 +48,10 @@ document; ``tools/gen_bench_gallery.py`` renders it into
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
+
+from conftest import REPO_ROOT, TOP_LEVEL_BENCH, merge_scale_block
 
 from repro.analysis import write_json
 from repro.experiments import (
@@ -67,9 +68,6 @@ from repro.multicast_cc.population import active_backend
 #: benchmark measures; opt in to the harness's tracemalloc probe (both model
 #: variants run traced, so the speedup ratio stays a fair comparison).
 TRACEMALLOC_BENCH = True
-
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-TOP_LEVEL_BENCH = REPO_ROOT / "BENCH_scale.json"
 
 SCALE_RECEIVERS = 10_000
 REFERENCE_RECEIVERS = 50
@@ -109,37 +107,10 @@ BATCHED_ATTACK_REFERENCE_ATTACKERS = 5
 MIN_BATCHED_ATTACK_SPEEDUP = 50.0
 
 
-def _merge_top_level(key: str, value: dict, source: pathlib.Path) -> None:
-    """Merge one metrics block into the top-level ``BENCH_scale.json``.
-
-    The anchor document accumulates one block per scale measurement (cohort
-    speedup, protection at scale) so the tests of this module can run in any
-    order — or alone — without clobbering each other's results.  Sources are
-    recorded per block, keeping the document independent of run order.
-    """
-    payload = {}
-    if TOP_LEVEL_BENCH.exists():
-        payload = json.loads(TOP_LEVEL_BENCH.read_text())
-    payload.pop("source", None)  # legacy order-dependent field
-    payload["bench"] = "scale"
-    # Keep only known blocks, so a legacy flat-format document (or a block
-    # renamed away) cannot leave stale rows in the anchor forever.
-    known = (
-        "cohort_speedup",
-        "protection_at_scale",
-        "columnar_speedup",
-        "sharding_speedup",
-        "batched_attacks",
-    )
-    payload["metrics"] = {
-        k: v for k, v in payload.get("metrics", {}).items() if k in known
-    }
-    payload["sources"] = {
-        k: v for k, v in payload.get("sources", {}).items() if k in known
-    }
-    payload["metrics"][key] = value
-    payload["sources"][key] = str(source.relative_to(REPO_ROOT))
-    write_json(TOP_LEVEL_BENCH, payload)
+#: The anchor merge lives in :mod:`conftest` since the warm-start benchmark
+#: joined the scale family; the alias keeps this module's historical import
+#: surface (``bench_scale_shard`` and older tooling import it from here).
+_merge_top_level = merge_scale_block
 
 
 def _run(model: str, receivers: int) -> dict:

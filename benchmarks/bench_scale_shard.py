@@ -26,7 +26,7 @@ import json
 import os
 import time
 
-from bench_scale_cohort import _merge_top_level
+from conftest import merge_scale_block
 
 from repro.experiments import ExperimentRunner, scale_dumbbell_10m_spec
 from repro.experiments.shard import (
@@ -101,7 +101,7 @@ def test_sharded_10m_speedup_and_determinism(bench_record):
         "boundary_digest": boundary["digest"],
     }
     path = bench_record(metrics, name="scale_sharding")
-    _merge_top_level("sharding_speedup", metrics, path)
+    merge_scale_block("sharding_speedup", metrics, path)
 
     print(
         f"\nsharded 10M: {population:,} receivers over {spec.shards} regions\n"

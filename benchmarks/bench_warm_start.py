@@ -1,0 +1,148 @@
+"""Warm-start benchmark: shared-prefix checkpoints across sweep grids.
+
+Every cell of a paper sweep simulates the same pre-attack warm-up before its
+swept field (strategy, intensity) does anything.  The warm-start planner
+(``docs/performance.md``) runs that common prefix once per grid, checkpoints
+it at the last slot barrier before the attack onset, and resumes every cell
+from the blob — so a grid of S cells with prefix fraction p costs roughly
+``p + S·(1-p)`` cold-cell equivalents instead of ``S``.
+
+Two grids are measured, both with a late onset (the paper's sweeps hold the
+attack back until the honest audience has converged):
+
+* the ``scale-protection`` **strategy × intensity grid** — every registered
+  adversary strategy at three intensities against a 1,000-receiver audience,
+* the Figure 1/7 duel **intensity sweep** — the figure-8-style axis, one
+  ``attack-duel`` cell per attacker intensity.
+
+Each grid runs cold (``warm_start=False``) and warm through the same
+:class:`~repro.experiments.runner.ExperimentRunner`; the result documents
+must be byte-identical and the wall-clock speedup must clear
+``MIN_WARM_SPEEDUP`` (3×).  The planner and checkpoint-build overheads are
+recorded separately from simulation wall time, and the ``warm_start_speedup``
+block lands in the top-level ``BENCH_scale.json`` anchor (rendered into
+``docs/benchmarks.md`` by ``tools/gen_bench_gallery.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import merge_scale_block
+
+from repro.adversary import ADVERSARIES, AttackSpec
+from repro.experiments import (
+    ExperimentRunner,
+    attack_duel_spec,
+    scale_protection_spec,
+)
+
+#: Strategy × intensity grid: the whole adversary registry, three intensities.
+GRID_STRATEGIES = tuple(sorted(ADVERSARIES))
+GRID_INTENSITIES = (1.0, 2.0, 4.0)
+GRID_AUDIENCE = 1_000
+GRID_DURATION_S = 30.0
+GRID_ONSET_S = 24.0
+
+#: Figure 1/7 duel intensity sweep (the figure-8-style axis).
+DUEL_INTENSITIES = (0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0)
+DUEL_DURATION_S = 40.0
+DUEL_ONSET_S = 36.0
+
+#: Regression floor: warm grid wall time must be at least this many times
+#: shorter than the cold grid on both measured sweeps.
+MIN_WARM_SPEEDUP = 3.0
+
+
+def _protection_grid():
+    return [
+        scale_protection_spec(
+            audience=GRID_AUDIENCE,
+            attacker_fraction=0.01,
+            strategy=strategy,
+            intensity=intensity,
+            attack_start_s=GRID_ONSET_S,
+            duration_s=GRID_DURATION_S,
+        )
+        for strategy in GRID_STRATEGIES
+        for intensity in GRID_INTENSITIES
+    ]
+
+
+def _duel_sweep():
+    return [
+        attack_duel_spec(
+            f"duel-intensity-x{intensity:g}",
+            AttackSpec("inflated-join", start_s=DUEL_ONSET_S, intensity=intensity),
+            duration_s=DUEL_DURATION_S,
+        )
+        for intensity in DUEL_INTENSITIES
+    ]
+
+
+def _measure(grid):
+    """Run ``grid`` cold then warm; return the comparison block."""
+    started = time.perf_counter()
+    cold = ExperimentRunner(jobs=1, warm_start=False).run(grid)
+    cold_wall_s = time.perf_counter() - started
+
+    warm_runner = ExperimentRunner(jobs=1)
+    started = time.perf_counter()
+    warm = warm_runner.run(grid)
+    warm_wall_s = time.perf_counter() - started
+
+    identical = [r.to_json() for r in cold] == [r.to_json() for r in warm]
+    speedup = cold_wall_s / warm_wall_s if warm_wall_s > 0 else float("inf")
+    return {
+        "cells": len(grid),
+        "duration_s": grid[0].effective_duration_s,
+        "cold_wall_s": cold_wall_s,
+        "warm_wall_s": warm_wall_s,
+        "speedup": speedup,
+        "identical": identical,
+        "warm_runs": warm_runner.warm_runs,
+        "checkpoints_built": warm_runner.checkpoint_misses,
+        # Orchestration overheads, separated from simulation wall time.
+        "plan_overhead_s": warm_runner.plan_overhead_s,
+        "checkpoint_wall_s": warm_runner.checkpoint_wall_s,
+    }
+
+
+def test_warm_start_speedup_floor(bench_record):
+    """Both sweeps: warm == cold byte-for-byte, >= 3x faster."""
+    grid_block = dict(
+        _measure(_protection_grid()),
+        onset_s=GRID_ONSET_S,
+        strategies=len(GRID_STRATEGIES),
+        intensities=len(GRID_INTENSITIES),
+    )
+    duel_block = dict(
+        _measure(_duel_sweep()),
+        onset_s=DUEL_ONSET_S,
+        intensities=len(DUEL_INTENSITIES),
+    )
+
+    metrics = {
+        "protection_grid": grid_block,
+        "duel_intensity_sweep": duel_block,
+        "speedup": grid_block["speedup"],
+        "min_speedup": MIN_WARM_SPEEDUP,
+    }
+    path = bench_record(metrics, name="warm_start")
+    merge_scale_block("warm_start_speedup", metrics, path)
+
+    for label, block in (("grid", grid_block), ("duel", duel_block)):
+        print(
+            f"\n{label}: {block['cells']} cells — cold {block['cold_wall_s']:.2f}s, "
+            f"warm {block['warm_wall_s']:.2f}s (x{block['speedup']:.2f}; "
+            f"plan {block['plan_overhead_s'] * 1e3:.1f}ms, "
+            f"checkpoints {block['checkpoint_wall_s']:.2f}s)"
+        )
+
+    assert grid_block["identical"], "warm protection grid diverged from cold"
+    assert duel_block["identical"], "warm duel sweep diverged from cold"
+    for label, block in (("protection grid", grid_block), ("duel sweep", duel_block)):
+        assert block["speedup"] >= MIN_WARM_SPEEDUP, (
+            f"warm-start speedup on the {label} fell to x{block['speedup']:.2f} "
+            f"(floor x{MIN_WARM_SPEEDUP:g}) — the shared prefix is being re-simulated"
+        )

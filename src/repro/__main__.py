@@ -7,11 +7,17 @@ Examples::
     python -m repro run figure8-throughput --seeds 4 --jobs 4
     python -m repro run parking-lot-attack --duration 30 --out results/
     python -m repro profile figure8-throughput --top 25 --sort tottime
+    python -m repro cache stats --cache-dir results/cache
+    python -m repro cache prune --cache-dir results/cache --max-bytes 50000000
 
 ``run`` executes the named scenario's spec over a seed sweep through the
 parallel :class:`~repro.experiments.runner.ExperimentRunner`, prints the
-per-seed key metrics and the cross-seed aggregate, and optionally writes the
-raw results plus the aggregate as JSON.
+per-seed key metrics, the cache/warm-start counters and the cross-seed
+aggregate, and optionally writes the raw results plus the aggregate as JSON.
+
+``cache`` inspects the runner's on-disk cache: ``stats`` reports result
+entries and checkpoint blobs (count and bytes), ``prune --max-bytes N``
+evicts oldest-first until the directory fits the budget.
 
 ``profile`` realises one seed of a scenario under :mod:`cProfile` and prints
 the top-N entries of the :mod:`pstats` table — the workflow behind the
@@ -34,7 +40,13 @@ from .analysis.reporting import (
     format_table,
     write_json,
 )
-from .experiments import ExperimentRunner, list_scenarios, scenario_entry
+from .experiments import (
+    ExperimentRunner,
+    cache_stats,
+    list_scenarios,
+    prune_cache,
+    scenario_entry,
+)
 from .simulator.topology import TOPOLOGIES
 
 
@@ -137,7 +149,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     entry, spec = resolved
     try:
-        runner = ExperimentRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+        runner = ExperimentRunner(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            warm_start=args.warm_start,
+            verify_warm_start=args.verify_warm_start,
+        )
     except (TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -151,6 +168,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"duration={spec.effective_duration_s:g}s seeds={args.seeds} jobs={args.jobs}"
     )
     print(_format_population_rate(results, wall_s, runner.cache_hits))
+    print(
+        f"cache: {runner.cache_hits} hit(s), {runner.cache_misses} miss(es); "
+        f"warm starts: {runner.warm_runs} run(s) from "
+        f"{runner.checkpoint_hits + runner.checkpoint_misses} checkpoint(s) "
+        f"({runner.checkpoint_hits} reused, {runner.checkpoint_misses} built)"
+    )
     rows = []
     for result in results:
         for session_id, session in result.metrics["multicast"].items():
@@ -173,6 +196,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         agg_path = write_json(out_dir / f"{entry.name}-aggregate.json", aggregate)
         print(f"\nwrote {runs_path} and {agg_path}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    directory = Path(args.cache_dir)
+    try:
+        if args.cache_command == "prune":
+            report = prune_cache(directory, args.max_bytes)
+            print(
+                f"{report['path']}: deleted {report['deleted']} file(s), "
+                f"freed {report['freed_bytes']:,} bytes, "
+                f"{report['remaining_bytes']:,} bytes remain"
+            )
+        else:
+            report = cache_stats(directory)
+            results, checkpoints = report["results"], report["checkpoints"]
+            print(f"{report['path']}:")
+            print(
+                f"  results:     {results['entries']} entries, "
+                f"{results['bytes']:,} bytes"
+            )
+            print(
+                f"  checkpoints: {checkpoints['entries']} blobs, "
+                f"{checkpoints['bytes']:,} bytes"
+            )
+            print(f"  total:       {report['total_bytes']:,} bytes")
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -250,7 +302,31 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", type=int, default=1, help="parallel worker processes")
     run.add_argument("--out", default=None, help="directory for JSON results")
     run.add_argument("--cache-dir", default=None, help="per-run result cache directory")
-    run.set_defaults(func=_cmd_run)
+    run.add_argument(
+        "--no-warm-start",
+        dest="warm_start",
+        action="store_false",
+        help="disable common-prefix warm starts (always run cells cold)",
+    )
+    run.add_argument(
+        "--verify-warm-start",
+        action="store_true",
+        help="re-run one warm-started cell per prefix cold and assert "
+        "byte-identical results",
+    )
+    run.set_defaults(func=_cmd_run, warm_start=True)
+
+    cache = sub.add_parser("cache", help="inspect or prune a runner cache directory")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_sub.add_parser("stats", help="result/checkpoint entry counts and bytes")
+    stats.add_argument("--cache-dir", required=True, help="cache directory to inspect")
+    stats.set_defaults(func=_cmd_cache)
+    prune = cache_sub.add_parser("prune", help="evict oldest entries to fit a byte budget")
+    prune.add_argument("--cache-dir", required=True, help="cache directory to prune")
+    prune.add_argument(
+        "--max-bytes", type=int, required=True, help="target size in bytes"
+    )
+    prune.set_defaults(func=_cmd_cache)
 
     profile = sub.add_parser(
         "profile",

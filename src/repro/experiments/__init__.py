@@ -17,6 +17,9 @@ The stack is layered:
   receivers: the planner splitting a ``shards=N`` spec into standalone
   region sub-scenarios, the region worker, and the deterministic
   boundary-event merge.
+* :mod:`repro.experiments.warmstart` — common-prefix warm-starts for sweep
+  grids: canonical prefix planning, slot-barrier checkpoints, and the
+  content-addressed blob store the runner resumes cells from.
 * :mod:`repro.experiments.figure1` / :mod:`figure8` / :mod:`figure9` — the
   paper's figures, built on the layers above.
 """
@@ -33,9 +36,11 @@ from .registry import (
 from .runner import (
     ExperimentRunner,
     RunResult,
+    cache_stats,
     collect_metrics,
     collect_protection_metrics,
     execute_spec,
+    prune_cache,
     run_spec_json,
 )
 from .figure1 import (
@@ -84,6 +89,7 @@ from .scale import (
 )
 from .scenario import MulticastSession, Scenario
 from .shard import ShardPlan, merge_region_results, plan_shards, run_region_json
+from .warmstart import CheckpointStore, PrefixPlan, plan_prefix
 from ..multicast_cc.churn import ChurnProcess
 
 __all__ = [
@@ -112,10 +118,15 @@ __all__ = [
     "scenario_spec",
     "ExperimentRunner",
     "RunResult",
+    "cache_stats",
     "collect_metrics",
     "collect_protection_metrics",
     "execute_spec",
+    "prune_cache",
     "run_spec_json",
+    "CheckpointStore",
+    "PrefixPlan",
+    "plan_prefix",
     "attack_duel_spec",
     "DEFAULT_ATTACK_START_S",
     "InflatedSubscriptionResult",

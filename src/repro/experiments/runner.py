@@ -29,10 +29,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..analysis.protection import (
     combined_containment_s,
@@ -49,9 +51,11 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "RunResult",
     "ExperimentRunner",
+    "cache_stats",
     "collect_metrics",
     "collect_protection_metrics",
     "execute_spec",
+    "prune_cache",
     "run_spec_json",
     "run_job",
 ]
@@ -316,16 +320,27 @@ def run_job(job: Tuple[str, str]) -> str:
     """Dispatching worker entry point: a ``(kind, payload)`` job in, JSON out.
 
     ``kind`` is ``"spec"`` (an ordinary spec run through
-    :func:`run_spec_json`) or ``"region"`` (one region of a sharded spec,
-    through :func:`repro.experiments.shard.run_region_json`).  Module-level
-    and built from plain strings so it pickles into pool workers; the shard
-    module is imported lazily to keep the import graph acyclic.
+    :func:`run_spec_json`), ``"region"`` (one region of a sharded spec,
+    through :func:`repro.experiments.shard.run_region_json`),
+    ``"checkpoint"`` (build one prefix checkpoint) or ``"warm"`` (restore a
+    prefix checkpoint and run a cell to the end), the latter two through
+    :mod:`repro.experiments.warmstart`.  Module-level and built from plain
+    strings so it pickles into pool workers; the shard and warm-start
+    modules are imported lazily to keep the import graph acyclic.
     """
     kind, payload = job
     if kind == "region":
         from .shard import run_region_json
 
         return run_region_json(payload)
+    if kind == "checkpoint":
+        from .warmstart import run_checkpoint_json
+
+        return run_checkpoint_json(payload)
+    if kind == "warm":
+        from .warmstart import run_warm_json
+
+        return run_warm_json(payload)
     return run_spec_json(payload)
 
 
@@ -333,15 +348,57 @@ def run_job(job: Tuple[str, str]) -> str:
 # the runner
 # ----------------------------------------------------------------------
 class ExperimentRunner:
-    """Fan specs out over processes, with optional on-disk result caching."""
+    """Fan specs out over processes, with optional on-disk result caching.
 
-    def __init__(self, jobs: int = 1, cache_dir: Optional[Path] = None) -> None:
+    With ``warm_start`` (the default) the runner additionally plans
+    common-prefix warm-starts across each batch
+    (:mod:`repro.experiments.warmstart`): pending cells whose canonical
+    prefix specs are byte-equal share one checkpoint of the pre-attack
+    dynamics, built once and resumed per cell.  Warm results are
+    byte-identical to cold runs, so they are cached like any other result.
+    ``verify_warm_start`` re-runs one cell per prefix group cold and raises
+    on any byte divergence — the runtime spot-check behind the CLI's
+    ``--verify-warm-start``.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Path] = None,
+        warm_start: bool = True,
+        verify_warm_start: bool = False,
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.warm_start = warm_start
+        self.verify_warm_start = verify_warm_start
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Prefix checkpoints found already published when a batch planned
+        #: its warm-starts / built because they were missing.
+        self.checkpoint_hits = 0
+        self.checkpoint_misses = 0
+        #: Cells executed from a restored prefix instead of from ``t=0``.
+        self.warm_runs = 0
+        #: Wall seconds spent planning prefixes and hashing checkpoint keys
+        #: (pure orchestration overhead, no simulation inside).
+        self.plan_overhead_s = 0.0
+        #: Wall seconds spent building/publishing missing prefix blobs
+        #: (phase-1 checkpoint jobs; simulation of the shared prefix).
+        self.checkpoint_wall_s = 0.0
+        self._scratch: Optional[tempfile.TemporaryDirectory] = None
+
+    def _checkpoint_dir(self) -> Path:
+        """Where prefix blobs live: the result cache, or a runner-lifetime
+        scratch directory so batches without a ``cache_dir`` still share
+        prefixes within (and across) their own grids."""
+        if self.cache_dir is not None:
+            return self.cache_dir
+        if self._scratch is None:
+            self._scratch = tempfile.TemporaryDirectory(prefix="repro-warmstart-")
+        return Path(self._scratch.name)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -434,43 +491,211 @@ class ExperimentRunner:
             group.append(index)
 
         if pending:
-            jobs: List[Tuple[str, str]] = []
-            # (spec index, shard plan or None, first job offset, job count)
-            segments: List[Tuple[int, Optional[Any], int, int]] = []
-            for index in pending:
-                spec = specs[index]
-                if spec.shards is not None:
-                    from .shard import plan_shards, region_payloads
-
-                    plan = plan_shards(spec)
-                    payloads = region_payloads(plan)
-                    segments.append((index, plan, len(jobs), len(payloads)))
-                    jobs.extend(("region", payload) for payload in payloads)
-                else:
-                    segments.append((index, None, len(jobs), 1))
-                    jobs.append(("spec", spec.to_json()))
-            if self.jobs > 1 and len(jobs) > 1:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    outputs = list(pool.map(run_job, jobs))
-            else:
-                outputs = [run_job(job) for job in jobs]
-            for index, plan, offset, count in segments:
-                if plan is None:
-                    output = outputs[offset]
-                    result = RunResult.from_json(output)
-                else:
-                    from .shard import merge_region_results
-
-                    documents = [
-                        json.loads(outputs[offset + i]) for i in range(count)
-                    ]
-                    result = merge_region_results(plan, documents)
-                    output = result.to_json()
-                for duplicate in occurrences[specs[index].to_json()]:
-                    results[duplicate] = result
-                self._write_cache(specs[index], output)
+            self._execute_pending(specs, pending, occurrences, results)
         return [result for result in results if result is not None]
 
+    # ------------------------------------------------------------------
+    def _plan_warm_starts(
+        self, specs: Sequence[ScenarioSpec], pending: Sequence[int]
+    ) -> Tuple[Dict[int, Any], Dict[int, bool], Dict[int, List[Tuple]], List[Tuple[str, str]]]:
+        """Group pending cells by shared prefix and plan checkpoint jobs.
+
+        Returns ``(plans, warm_cells, blob_descriptors, phase1_jobs)``:
+        per-cell :class:`~repro.experiments.warmstart.PrefixPlan` objects,
+        the cells to warm-start (mapped to their runtime-verify flag), each
+        warm cell's blob descriptors (one per region on sharded specs) and
+        the phase-1 ``("checkpoint", payload)`` jobs for blobs not yet
+        published.  A cell warms when its prefix is shared by another
+        pending cell, when its blobs already exist — or, with a durable
+        ``cache_dir``, always: the prefix must be simulated anyway, so
+        publishing the blob costs one pickle and seeds every future
+        invocation sweeping the same prefix (the CLI's one-cell-at-a-time
+        usage pattern).  Without a ``cache_dir`` a lone cell stays cold —
+        a scratch-directory blob nothing will ever share is pure overhead.
+        """
+        plans: Dict[int, Any] = {}
+        warm_cells: Dict[int, bool] = {}
+        descriptors: Dict[int, List[Tuple]] = {}
+        phase1: List[Tuple[str, str]] = []
+        if not self.warm_start:
+            return plans, warm_cells, descriptors, phase1
+        from .warmstart import CheckpointStore, plan_prefix
+
+        groups: Dict[str, List[int]] = {}
+        for index in pending:
+            plan = plan_prefix(specs[index])
+            if plan is not None:
+                plans[index] = plan
+                groups.setdefault(plan.checkpoint_key(), []).append(index)
+        if not groups:
+            return plans, warm_cells, descriptors, phase1
+
+        store = CheckpointStore(self._checkpoint_dir())
+        planned_keys: Set[str] = set()
+        for members in groups.values():
+            blobs = self._blob_descriptors(specs[members[0]], plans[members[0]])
+            published = all(store.exists(key) for key, *_ in blobs)
+            if len(members) < 2 and not published and self.cache_dir is None:
+                continue
+            for position, index in enumerate(members):
+                warm_cells[index] = self.verify_warm_start and position == 0
+                descriptors[index] = blobs
+            for key, prefix_dict, barrier_s, membership_log in blobs:
+                if key in planned_keys:
+                    continue
+                planned_keys.add(key)
+                if store.exists(key):
+                    self.checkpoint_hits += 1
+                    continue
+                self.checkpoint_misses += 1
+                phase1.append(
+                    (
+                        "checkpoint",
+                        json.dumps(
+                            {
+                                "prefix": prefix_dict,
+                                "barrier_s": barrier_s,
+                                "dir": str(store.directory),
+                                "key": key,
+                                "membership_log": membership_log,
+                            },
+                            sort_keys=True,
+                            separators=(",", ":"),
+                        ),
+                    )
+                )
+        return plans, warm_cells, descriptors, phase1
+
+    def _blob_descriptors(self, spec: ScenarioSpec, plan: Any) -> List[Tuple]:
+        """``(key, prefix spec dict, barrier_s, membership_log)`` per blob.
+
+        An unsharded cell has one blob; a sharded cell has one per region
+        (the prefix spec shards into regions that align one-to-one with the
+        real spec's — canonicalization never touches populations or the
+        topology).
+        """
+        if spec.shards is None:
+            return [(plan.checkpoint_key(), plan.spec.to_dict(), plan.barrier_s, False)]
+        from .shard import plan_shards
+        from .warmstart import PrefixPlan
+
+        return [
+            (
+                PrefixPlan(plan.barrier_s, region.spec).checkpoint_key(),
+                region.spec.to_dict(),
+                plan.barrier_s,
+                True,
+            )
+            for region in plan_shards(plan.spec).regions
+        ]
+
+    def _execute_pending(
+        self,
+        specs: Sequence[ScenarioSpec],
+        pending: Sequence[int],
+        occurrences: Dict[str, List[int]],
+        results: List[Optional[RunResult]],
+    ) -> None:
+        """Run the uncached cells: plan warm-starts, fan out, merge, cache."""
+        plan_started = time.perf_counter()
+        plans, warm_cells, descriptors, phase1 = self._plan_warm_starts(specs, pending)
+        self.plan_overhead_s += time.perf_counter() - plan_started
+        checkpoint_dir = str(self._checkpoint_dir()) if warm_cells else ""
+
+        jobs: List[Tuple[str, str]] = []
+        # (spec index, shard plan or None, first job offset, job count)
+        segments: List[Tuple[int, Optional[Any], int, int]] = []
+        # spec index -> (shard plan, offset, count) of the cold verify jobs
+        verify_segments: Dict[int, Tuple[Any, int, int]] = {}
+        for index in pending:
+            spec = specs[index]
+            warm = index in warm_cells
+            if warm:
+                self.warm_runs += 1
+            if spec.shards is not None:
+                from .shard import plan_shards, region_payloads
+
+                plan = plan_shards(spec)
+                payloads = region_payloads(plan)
+                if warm:
+                    payloads = _attach_warm_blocks(
+                        payloads, descriptors[index], checkpoint_dir
+                    )
+                segments.append((index, plan, len(jobs), len(payloads)))
+                jobs.extend(("region", payload) for payload in payloads)
+                if warm and warm_cells[index]:
+                    # Sharded runtime verify: re-run the regions cold and
+                    # compare the merged documents byte for byte.
+                    cold = region_payloads(plan)
+                    verify_segments[index] = (plan, len(jobs), len(cold))
+                    jobs.extend(("region", payload) for payload in cold)
+            elif warm:
+                prefix_plan = plans[index]
+                segments.append((index, None, len(jobs), 1))
+                jobs.append(
+                    (
+                        "warm",
+                        json.dumps(
+                            {
+                                "spec": spec.to_dict(),
+                                "prefix": prefix_plan.spec.to_dict(),
+                                "barrier_s": prefix_plan.barrier_s,
+                                "dir": checkpoint_dir,
+                                "key": prefix_plan.checkpoint_key(),
+                                "verify": warm_cells[index],
+                            },
+                            sort_keys=True,
+                            separators=(",", ":"),
+                        ),
+                    )
+                )
+            else:
+                segments.append((index, None, len(jobs), 1))
+                jobs.append(("spec", spec.to_json()))
+
+        if self.jobs > 1 and len(phase1) + len(jobs) > 1:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                if phase1:
+                    checkpoint_started = time.perf_counter()
+                    list(pool.map(run_job, phase1))
+                    self.checkpoint_wall_s += time.perf_counter() - checkpoint_started
+                outputs = list(pool.map(run_job, jobs))
+        else:
+            checkpoint_started = time.perf_counter()
+            for job in phase1:
+                run_job(job)
+            self.checkpoint_wall_s += time.perf_counter() - checkpoint_started
+            outputs = [run_job(job) for job in jobs]
+
+        for index, plan, offset, count in segments:
+            if plan is None:
+                output = outputs[offset]
+                result = RunResult.from_json(output)
+            else:
+                from .shard import merge_region_results
+
+                documents = [json.loads(outputs[offset + i]) for i in range(count)]
+                result = merge_region_results(plan, documents)
+                output = result.to_json()
+                if index in verify_segments:
+                    cold_plan, cold_offset, cold_count = verify_segments[index]
+                    cold_documents = [
+                        json.loads(outputs[cold_offset + i]) for i in range(cold_count)
+                    ]
+                    cold_output = merge_region_results(
+                        cold_plan, cold_documents
+                    ).to_json()
+                    if cold_output != output:
+                        raise RuntimeError(
+                            f"warm-start divergence on {specs[index].name!r} "
+                            f"(seed {specs[index].seed}): the warm sharded "
+                            "result does not byte-match the cold run"
+                        )
+            for duplicate in occurrences[specs[index].to_json()]:
+                results[duplicate] = result
+            self._write_cache(specs[index], output)
+
+    # ------------------------------------------------------------------
     def run_one(self, spec: ScenarioSpec) -> RunResult:
         """Execute a single spec (through the cache like any other run)."""
         return self.run([spec])[0]
@@ -492,3 +717,98 @@ class ExperimentRunner:
             for seed in seeds:
                 variants.append(base.with_seed(seed))
         return self.run(variants)
+
+
+def _attach_warm_blocks(
+    payloads: Sequence[str], descriptors: Sequence[Tuple], directory: str
+) -> List[str]:
+    """Region payloads with their prefix-checkpoint ``warm`` blocks attached.
+
+    Region payloads and blob descriptors are both in region order, so they
+    zip one-to-one.
+    """
+    attached: List[str] = []
+    for payload, (key, prefix_dict, barrier_s, _membership_log) in zip(
+        payloads, descriptors
+    ):
+        document = json.loads(payload)
+        document["warm"] = {
+            "dir": directory,
+            "key": key,
+            "prefix": prefix_dict,
+            "barrier_s": barrier_s,
+        }
+        attached.append(json.dumps(document, sort_keys=True, separators=(",", ":")))
+    return attached
+
+
+# ----------------------------------------------------------------------
+# cache maintenance
+# ----------------------------------------------------------------------
+def cache_stats(cache_dir: Path) -> Dict[str, Any]:
+    """Size and entry counts of one cache directory, by entry kind.
+
+    ``results`` counts the runner's ``<sha256>.json`` result documents,
+    ``checkpoints`` the warm-start ``ck_<sha256>.pkl`` prefix blobs.
+    """
+    directory = Path(cache_dir)
+
+    def tally(paths: Iterable[Path]) -> Dict[str, int]:
+        entries = 0
+        total = 0
+        for path in paths:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return {"entries": entries, "bytes": total}
+
+    results = tally(directory.glob("*.json"))
+    checkpoints = tally(directory.glob("ck_*.pkl"))
+    return {
+        "path": str(directory),
+        "results": results,
+        "checkpoints": checkpoints,
+        "total_bytes": results["bytes"] + checkpoints["bytes"],
+    }
+
+
+def prune_cache(cache_dir: Path, max_bytes: int) -> Dict[str, Any]:
+    """Evict cache entries, oldest first, until the store fits ``max_bytes``.
+
+    Both entry kinds (result documents and checkpoint blobs) and any
+    leftover ``.tmp`` siblings compete by modification time; eviction is
+    safe at any point because every reader treats a missing or torn entry
+    as a miss.
+    """
+    if max_bytes < 0:
+        raise ValueError("max_bytes must be non-negative")
+    directory = Path(cache_dir)
+    entries: List[Tuple[float, str, Path, int]] = []
+    for pattern in ("*.json", "ck_*.pkl", "*.tmp"):
+        for path in directory.glob(pattern):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, path.name, path, stat.st_size))
+    entries.sort()
+    total = sum(size for _, _, _, size in entries)
+    deleted = 0
+    freed = 0
+    for _mtime, _name, path, size in entries:
+        if total - freed <= max_bytes:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        deleted += 1
+        freed += size
+    return {
+        "path": str(directory),
+        "deleted": deleted,
+        "freed_bytes": freed,
+        "remaining_bytes": total - freed,
+    }

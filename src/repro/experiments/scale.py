@@ -606,6 +606,7 @@ def scale_protection_spec(
     strategy: str = "inflated-join",
     protected: bool = True,
     attack_start_s: float = 10.0,
+    intensity: float = 1.0,
     duration_s: Optional[float] = 30.0,
     model: str = "cohort",
     config: ExperimentConfig = PAPER_DEFAULTS,
@@ -616,6 +617,8 @@ def scale_protection_spec(
     as an adversarial cohort mounting ``strategy`` — any registered strategy,
     the whole registry batches exactly — against the honest remainder: the
     axes along which the paper's containment claim must stay flat.
+    ``intensity`` scales the strategy's aggression (the figure-8 sweep axis
+    the warm-start benchmark shares one prefix checkpoint across).
     """
     if not 0.0 < attacker_fraction < 1.0:
         raise ValueError("attacker_fraction must be in (0, 1)")
@@ -638,7 +641,11 @@ def scale_protection_spec(
                     CohortDecl(
                         attackers,
                         model=model,
-                        attack=AttackSpec(strategy, start_s=attack_start_s),
+                        attack=AttackSpec(
+                            strategy,
+                            start_s=attack_start_s,
+                            intensity=intensity,
+                        ),
                     ),
                 ),
             ),

@@ -25,6 +25,7 @@ histories after :meth:`run`.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -74,6 +75,10 @@ from ..transport.cbr import CbrSink, OnOffCbrSource
 from ..transport.tcp import TcpConnection
 from .config import ExperimentConfig
 from .spec import CohortDecl, ScenarioSpec
+
+#: Stamped into every :meth:`Scenario.checkpoint` blob; bump whenever the
+#: pickled state layout changes so stale blobs read as misses, never as state.
+CHECKPOINT_VERSION = 1
 
 __all__ = ["MulticastSession", "Scenario"]
 
@@ -647,6 +652,95 @@ class Scenario:
     def run(self, duration_s: Optional[float] = None) -> None:
         """Build routes and run the simulation for the configured duration."""
         self.network.run(duration_s if duration_s is not None else self.config.duration_s)
+
+    # ------------------------------------------------------------------
+    # checkpoint / warm-start
+    # ------------------------------------------------------------------
+    def run_to_barrier(self, barrier_s: float) -> None:
+        """Run the simulation strictly *up to* a slot barrier (exclusive).
+
+        Events scheduled at exactly ``barrier_s`` stay queued and fire first
+        when the scenario is resumed, so ``run_to_barrier(b)`` followed by
+        ``run(d)`` executes exactly the event sequence of a cold ``run(d)``.
+        The clock still advances to ``barrier_s`` even if the queues drain
+        early, matching :meth:`~repro.simulator.engine.Simulator.run`.
+        """
+        self.network.ensure_routes()
+        self.network.sim.run(until=barrier_s, inclusive=False)
+
+    def checkpoint(self) -> bytes:
+        """Serialise the complete live simulation state into one blob.
+
+        Every piece of mutable state — the two event lanes, timer groups,
+        named RNG streams, population tables, SIGMA/IGMP agents, monitors
+        and receiver models — hangs off this object graph, and every
+        scheduled callable is a named bound method, so a single pickle
+        captures the full simulation.  Rebuild with :meth:`restore`.
+        """
+        return pickle.dumps(
+            (CHECKPOINT_VERSION, self), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "Scenario":
+        """Rebuild a checkpointed scenario from :meth:`checkpoint` output.
+
+        Raises :class:`ValueError` when the blob was written by an
+        incompatible checkpoint layout (callers treat that as a cache miss).
+        """
+        payload = pickle.loads(blob)
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 2
+            or payload[0] != CHECKPOINT_VERSION
+            or not isinstance(payload[1], cls)
+        ):
+            raise ValueError("incompatible scenario checkpoint")
+        return payload[1]
+
+    def rebind_spec(self, spec: ScenarioSpec) -> None:
+        """Swap a restored prefix's placeholder declarations for ``spec``'s.
+
+        A warm-start prefix runs with canonical placeholder attacks and
+        churn processes that are inert before the barrier (see
+        :mod:`repro.experiments.warmstart`), so divergent grid cells share
+        one checkpoint.  Rebinding is exact: strategy RNG stream names
+        depend only on (session, host, attack index, strategy) and a
+        zero-draw stream equals a freshly created one, while churned blocks
+        keep their ``_churn_initial`` booking because an inert process never
+        changed the population before the barrier.
+        """
+        for decl, session in zip(spec.sessions, self.sessions):
+            per_receiver = self._attacks_per_receiver(
+                decl.receivers,
+                tuple(decl.misbehaving),
+                decl.attack_start_s,
+                decl.attacks,
+            )
+            for r_index, attacks in per_receiver.items():
+                self._rebind_strategies(session, session.receivers[r_index], attacks)
+            for b_index, cohort in enumerate(decl.population):
+                start, stop = session.block_slices[b_index]
+                for receiver in session.receivers[start:stop]:
+                    if cohort.attack is not None:
+                        self._rebind_strategies(session, receiver, (cohort.attack,))
+                    if cohort.churn is not None:
+                        receiver._churn = cohort.churn
+
+    def _rebind_strategies(
+        self,
+        session: MulticastSession,
+        receiver: LayeredReceiverBase,
+        attacks: Sequence[AttackSpec],
+    ) -> None:
+        strategies = build_strategies(
+            list(attacks), self.network, session.spec, receiver.host.name
+        )
+        receiver._strategies = strategies
+        context = receiver._attack_ctx
+        if context is not None:
+            for strategy in strategies:
+                strategy.on_attach(context)
 
     # ------------------------------------------------------------------
     # results helpers

@@ -377,9 +377,28 @@ def run_region_json(payload_json: str) -> str:
     """
     payload = json.loads(payload_json)
     spec = ScenarioSpec.from_dict(payload["spec"])
-    scenario = Scenario.from_spec(spec)
-    events: List[Tuple[float, int, str, int]] = []
-    scenario.network.multicast.membership_log = events
+    warm = payload.get("warm")
+    if warm is not None:
+        # Warm-started region: restore the region's prefix checkpoint (the
+        # boundary log was attached before the prefix ran, so pre-barrier
+        # events are inside the blob) and rebind the real declarations.
+        from pathlib import Path
+
+        from .warmstart import CheckpointStore, _ensure_checkpoint
+
+        scenario, _reused = _ensure_checkpoint(
+            CheckpointStore(Path(warm["dir"])),
+            warm["key"],
+            ScenarioSpec.from_dict(warm["prefix"]),
+            warm["barrier_s"],
+            membership_log=True,
+        )
+        events = scenario.network.multicast.membership_log
+        scenario.rebind_spec(spec)
+    else:
+        scenario = Scenario.from_spec(spec)
+        events = []
+        scenario.network.multicast.membership_log = events
     started = time.perf_counter()
     scenario.run(spec.effective_duration_s)
     wall_s = time.perf_counter() - started

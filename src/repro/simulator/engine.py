@@ -406,7 +406,12 @@ class Simulator:
         self._events_executed += 1
         return event
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        inclusive: bool = True,
+    ) -> None:
         """Run events until the queues drain, ``until`` passes, or ``max_events``.
 
         Parameters
@@ -419,6 +424,12 @@ class Simulator:
         max_events:
             Optional hard cap on the number of events to execute, useful as
             a safety net in tests.
+        inclusive:
+            When ``False``, events scheduled at exactly ``until`` are left
+            queued instead of executed — the slot-barrier cut used by
+            checkpointing: everything strictly before the barrier runs, the
+            clock advances to the barrier, and the barrier's own events fire
+            first on the next :meth:`run`.
         """
         self._stopped = False
         fast = self._fast
@@ -444,7 +455,7 @@ class Simulator:
                 time = head.time
             else:
                 break
-            if until is not None and time > until:
+            if until is not None and (time > until or (not inclusive and time >= until)):
                 break
             if entry is not None:
                 heappop(fast)

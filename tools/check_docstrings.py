@@ -48,6 +48,7 @@ SCOPED: Tuple[str, ...] = (
     "experiments/spec.py",
     "experiments/runner.py",
     "experiments/scale.py",
+    "experiments/warmstart.py",
     "adversary/strategy.py",
     "adversary/cohort.py",
     "multicast_cc/decision.py",

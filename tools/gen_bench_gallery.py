@@ -148,6 +148,18 @@ def _headline(lines: List[str]) -> None:
                 f"{_fmt(cohort.get('receivers'))} receivers; floor "
                 f"{_fmt(batched.get('min_speedup'))}×) | `BENCH_scale.json` |"
             )
+        warm = metrics.get("warm_start_speedup", {})
+        if warm:
+            grid = warm.get("protection_grid", {})
+            duel = warm.get("duel_intensity_sweep", {})
+            lines.append(
+                f"| Warm-started sweep grids vs cold "
+                f"({_fmt(grid.get('cells'))}-cell strategy×intensity grid, "
+                f"{_fmt(duel.get('cells'))}-cell duel intensity sweep) | "
+                f"{_fmt(grid.get('speedup'))}× and {_fmt(duel.get('speedup'))}× "
+                f"(floor {_fmt(warm.get('min_speedup'))}×, byte-identical) | "
+                f"`BENCH_scale.json` |"
+            )
         protection = metrics.get("protection_at_scale", {})
         if protection:
             lines.append(
