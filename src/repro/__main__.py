@@ -9,6 +9,9 @@ Examples::
     python -m repro profile figure8-throughput --top 25 --sort tottime
     python -m repro cache stats --cache-dir results/cache
     python -m repro cache prune --cache-dir results/cache --max-bytes 50000000
+    python -m repro serve --socket /tmp/repro.sock --cache-dir results/cache --jobs 4
+    python -m repro submit figure8-throughput --socket /tmp/repro.sock --seeds 4
+    python -m repro status --socket /tmp/repro.sock
 
 ``run`` executes the named scenario's spec over a seed sweep through the
 parallel :class:`~repro.experiments.runner.ExperimentRunner`, prints the
@@ -22,6 +25,11 @@ evicts oldest-first until the directory fits the budget.
 ``profile`` realises one seed of a scenario under :mod:`cProfile` and prints
 the top-N entries of the :mod:`pstats` table — the workflow behind the
 engine hot-path overhaul (see ``docs/performance.md``).
+
+``serve`` runs the experiment daemon (see ``docs/service.md``); ``submit``
+sends a scenario sweep to a running daemon and streams the results back;
+``status`` prints a daemon's introspection snapshot (queue depth, cache hit
+rate, worker health).
 """
 
 from __future__ import annotations
@@ -199,6 +207,128 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, run_daemon
+
+    if args.socket is None and args.port is None:
+        print("error: serve needs --socket PATH or --port N", file=sys.stderr)
+        return 2
+    try:
+        config = ServiceConfig(
+            cache_dir=Path(args.cache_dir),
+            socket=Path(args.socket) if args.socket else None,
+            host=args.host,
+            port=args.port or 0,
+            jobs=args.jobs,
+            retries=args.retries,
+            timeout_s=args.timeout,
+            max_queue=args.max_queue,
+            warm_start=args.warm_start,
+            checkpoint_dir=Path(args.checkpoint_dir) if args.checkpoint_dir else None,
+        )
+        run_daemon(config)
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _connect_client(args: argparse.Namespace):
+    """Open a :class:`~repro.service.ServiceClient` from ``--socket``/``--host``.
+
+    Prints an ``error:`` line and returns None on user/connection error;
+    callers exit 2.
+    """
+    from .service import ServiceClient, ServiceError
+
+    if args.socket is None and args.port is None:
+        print(
+            "error: need --socket PATH or --host/--port of a running daemon",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        return ServiceClient(
+            socket_path=args.socket,
+            host=args.host if args.socket is None else None,
+            port=args.port if args.socket is None else None,
+            timeout_s=args.connect_timeout,
+        )
+    except (OSError, ServiceError) as exc:
+        print(f"error: cannot reach the daemon: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import hashlib
+    import json
+
+    from .service import ServiceError
+
+    resolved = _resolve_spec(args)
+    if resolved is None:
+        return 2
+    entry, spec = resolved
+    client = _connect_client(args)
+    if client is None:
+        return 2
+    events = []
+    try:
+        with client:
+            results = client.run(
+                spec,
+                seeds=list(range(args.seeds)),
+                timeout_s=args.timeout,
+                on_event=events.append,
+            )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    streamed = {e["seed"]: e for e in events if e.get("event") == "result"}
+    cached = sum(1 for e in streamed.values() if e.get("cached"))
+    deduped = sum(1 for e in streamed.values() if e.get("deduped"))
+    warm = sum(1 for e in streamed.values() if e.get("warm"))
+    print(f"{entry.name}: {entry.description}")
+    print(
+        f"daemon answered {len(results)} cell(s): {cached} cached, "
+        f"{deduped} deduped, {warm} warm-started"
+    )
+    rows = []
+    for result in results:
+        for session_id, session in result.metrics["multicast"].items():
+            rows.append((result.seed, session_id, session["average_kbps"]))
+    print()
+    print(format_table(["seed", "session", "avg goodput (Kbps)"], rows))
+    if args.digest:
+        for result in results:
+            text = json.dumps(
+                result.metrics, sort_keys=True, separators=(",", ":")
+            )
+            digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            print(f"metrics_sha256 seed={result.seed}: {digest}")
+    if args.out is not None:
+        out_dir = Path(args.out)
+        runs_path = write_json(
+            out_dir / f"{entry.name}-runs.json", [r.to_dict() for r in results]
+        )
+        print(f"wrote {runs_path}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    client = _connect_client(args)
+    if client is None:
+        return 2
+    with client:
+        document = client.status()
+    document.pop("event", None)
+    document.pop("id", None)
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     directory = Path(args.cache_dir)
     try:
@@ -343,6 +473,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("--out", default=None, help="write the raw .prof dump here")
     profile.set_defaults(func=_cmd_profile)
+
+    # Options shared by the subcommands that talk to a running daemon.
+    endpoint_options = argparse.ArgumentParser(add_help=False)
+    endpoint_options.add_argument(
+        "--socket", default=None, help="Unix socket path of the daemon"
+    )
+    endpoint_options.add_argument(
+        "--host", default="127.0.0.1", help="daemon TCP host (with --port)"
+    )
+    endpoint_options.add_argument(
+        "--port", type=int, default=None, help="daemon TCP port"
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the experiment daemon (async job server over the runner)",
+        parents=[endpoint_options],
+    )
+    serve.add_argument(
+        "--cache-dir",
+        required=True,
+        help="shared result-cache / checkpoint-store directory",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="warm-start blob directory (default: --cache-dir)",
+    )
+    serve.add_argument("--jobs", type=int, default=1, help="worker processes")
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="bounded retries for a job whose worker crashed",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="default per-job wall-clock budget (s)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256, help="pending-cell admission bound"
+    )
+    serve.add_argument(
+        "--no-warm-start",
+        dest="warm_start",
+        action="store_false",
+        help="disable common-prefix warm starts (always run cells cold)",
+    )
+    serve.set_defaults(func=_cmd_serve, warm_start=True)
+
+    submit = sub.add_parser(
+        "submit",
+        help="send a scenario sweep to a running daemon and stream results",
+        parents=[spec_options, endpoint_options],
+    )
+    submit.add_argument("--seeds", type=int, default=1, help="number of seeds (0..N-1)")
+    submit.add_argument(
+        "--timeout", type=float, default=None, help="per-job budget override (s)"
+    )
+    submit.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=None,
+        help="socket timeout for talking to the daemon (s)",
+    )
+    submit.add_argument(
+        "--digest",
+        action="store_true",
+        help="print each result's canonical metrics SHA-256 (golden-digest form)",
+    )
+    submit.add_argument("--out", default=None, help="directory for JSON results")
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser(
+        "status",
+        help="print a running daemon's introspection snapshot",
+        parents=[endpoint_options],
+    )
+    status.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=None,
+        help="socket timeout for talking to the daemon (s)",
+    )
+    status.set_defaults(func=_cmd_status)
     return parser
 
 

@@ -34,12 +34,17 @@ from .registry import (
     scenario_spec,
 )
 from .runner import (
+    CellPlan,
+    ExperimentExecutionError,
     ExperimentRunner,
+    JobExecutor,
+    ResultCache,
     RunResult,
     cache_stats,
     collect_metrics,
     collect_protection_metrics,
     execute_spec,
+    plan_cell,
     prune_cache,
     run_spec_json,
 )
@@ -89,7 +94,13 @@ from .scale import (
 )
 from .scenario import MulticastSession, Scenario
 from .shard import ShardPlan, merge_region_results, plan_shards, run_region_json
-from .warmstart import CheckpointStore, PrefixPlan, plan_prefix
+from .warmstart import (
+    CheckpointStore,
+    PrefixPlan,
+    checkpoint_payload,
+    plan_prefix,
+    warm_payload,
+)
 from ..multicast_cc.churn import ChurnProcess
 
 __all__ = [
@@ -116,17 +127,24 @@ __all__ = [
     "register_scenario",
     "scenario_entry",
     "scenario_spec",
+    "CellPlan",
+    "ExperimentExecutionError",
     "ExperimentRunner",
+    "JobExecutor",
+    "ResultCache",
     "RunResult",
     "cache_stats",
     "collect_metrics",
     "collect_protection_metrics",
     "execute_spec",
+    "plan_cell",
     "prune_cache",
     "run_spec_json",
     "CheckpointStore",
     "PrefixPlan",
+    "checkpoint_payload",
     "plan_prefix",
+    "warm_payload",
     "attack_duel_spec",
     "DEFAULT_ATTACK_START_S",
     "InflatedSubscriptionResult",

@@ -32,9 +32,21 @@ import os
 import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..analysis.protection import (
     combined_containment_s,
@@ -49,12 +61,19 @@ from .spec import ScenarioSpec, SessionDecl
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
-    "RunResult",
+    "CellPlan",
+    "ExperimentExecutionError",
     "ExperimentRunner",
+    "JobExecutor",
+    "ResultCache",
+    "RunResult",
+    "blob_descriptors",
     "cache_stats",
     "collect_metrics",
     "collect_protection_metrics",
+    "describe_job",
     "execute_spec",
+    "plan_cell",
     "prune_cache",
     "run_spec_json",
     "run_job",
@@ -345,6 +364,354 @@ def run_job(job: Tuple[str, str]) -> str:
 
 
 # ----------------------------------------------------------------------
+# job-level execution (shared by the batch runner and the service daemon)
+# ----------------------------------------------------------------------
+class ExperimentExecutionError(RuntimeError):
+    """A job's worker process died and bounded retries did not recover it.
+
+    Raised instead of the raw :class:`BrokenProcessPool` traceback that used
+    to abort the whole grid: the message names the job (kind, scenario,
+    seed), how many attempts were made, and the usual causes, so the failure
+    is actionable rather than a lost batch.
+    """
+
+
+def describe_job(job: Tuple[str, str]) -> str:
+    """Human-readable identity of a ``(kind, payload)`` job for error text."""
+    kind, payload = job
+    try:
+        document = json.loads(payload)
+    except (TypeError, ValueError):
+        return f"{kind} job"
+    spec = document
+    if kind in ("warm", "region"):
+        spec = document.get("spec", {})
+    elif kind == "checkpoint":
+        spec = document.get("prefix", {})
+    name = spec.get("name", "?")
+    seed = spec.get("config", {}).get("seed", "?")
+    return f"{kind} job for scenario {name!r} (seed {seed})"
+
+
+def _crash_message(job: Tuple[str, str], attempts: int, retries: int) -> str:
+    """The actionable error text for a job whose workers kept dying."""
+    return (
+        f"worker process crashed while running the {describe_job(job)} and "
+        f"did not recover after {attempts} attempt(s) ({retries} retr"
+        f"{'y' if retries == 1 else 'ies'} allowed). A crashed worker is "
+        "usually an OOM kill or a native-extension fault; rerun with jobs=1 "
+        "to execute the job in-process and see the real failure."
+    )
+
+
+class JobExecutor:
+    """Run ``(kind, payload)`` jobs, serially or over a worker-process pool.
+
+    This is the execution substrate both :class:`ExperimentRunner` and the
+    service daemon (:mod:`repro.service`) schedule onto.  With ``jobs > 1``
+    jobs fan out over a :class:`ProcessPoolExecutor`; a worker that dies
+    mid-job (OOM kill, native crash) no longer aborts the batch with a raw
+    :class:`BrokenProcessPool` — the pool is rebuilt and the dead worker's
+    jobs are retried, up to ``retries`` times each, before an actionable
+    :class:`ExperimentExecutionError` is raised.  Because every job is a
+    pure function of its payload (the simulator is byte-deterministic), a
+    retried job returns exactly the bytes the crashed attempt would have.
+
+    ``worker`` defaults to :func:`run_job`; tests inject crashing stand-ins.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        retries: int = 2,
+        worker: Optional[Callable[[Tuple[str, str]], str]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.jobs = jobs
+        self.retries = retries
+        self._worker = worker
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Pools discarded after a worker crash (observability; the service
+        #: surfaces this as worker health).
+        self.restarts = 0
+
+    def _resolve_worker(self) -> Callable[[Tuple[str, str]], str]:
+        """The worker function — the module-level default unless injected."""
+        return self._worker if self._worker is not None else run_job
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool so the next attempt starts fresh workers."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            self.restarts += 1
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def run_all(self, jobs: Sequence[Tuple[str, str]]) -> List[str]:
+        """Execute every job, returning outputs in input order.
+
+        Serial (``jobs == 1`` or a single job) runs in-process, where an
+        exception is a real simulation failure and propagates unchanged.
+        Pooled runs retry each job whose worker crashed on a fresh pool.
+        """
+        jobs = list(jobs)
+        worker = self._resolve_worker()
+        if self.jobs == 1 or len(jobs) <= 1:
+            return [worker(job) for job in jobs]
+        outputs: List[Optional[str]] = [None] * len(jobs)
+        attempts = [0] * len(jobs)
+        pending = list(range(len(jobs)))
+        while pending:
+            pool = self._ensure_pool()
+            futures = [(index, pool.submit(worker, jobs[index])) for index in pending]
+            failed: List[int] = []
+            for index, future in futures:
+                try:
+                    outputs[index] = future.result()
+                except BrokenProcessPool:
+                    attempts[index] += 1
+                    if attempts[index] > self.retries:
+                        self._discard_pool()
+                        raise ExperimentExecutionError(
+                            _crash_message(jobs[index], attempts[index], self.retries)
+                        ) from None
+                    failed.append(index)
+            if failed:
+                self._discard_pool()
+            pending = failed
+        return [output for output in outputs if output is not None]
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "JobExecutor":
+        """Context-manager entry: the executor itself."""
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        """Context-manager exit: close the pool."""
+        self.close()
+
+
+class ResultCache:
+    """The on-disk, content-addressed result store.
+
+    One directory maps ``sha256(version tag + canonical spec JSON)`` to the
+    spec's canonical result document (``<key>.json``).  The store is safe to
+    share between concurrent runners, the service daemon and its clients:
+    entries are published atomically (pid-suffixed tmp + :func:`os.replace`)
+    and a torn or corrupt entry reads as a miss, never as state.  With no
+    directory every operation is a no-op/miss, so callers need no branching.
+    """
+
+    def __init__(self, directory: Optional[Path]) -> None:
+        self.directory = Path(directory) if directory is not None else None
+
+    @staticmethod
+    def key(spec: ScenarioSpec) -> str:
+        """SHA-256 over a version tag plus the spec's canonical JSON.
+
+        Sound only because runs are byte-deterministic per spec (see
+        ``docs/determinism.md``).  The package version and
+        :data:`CACHE_SCHEMA_VERSION` are mixed into the key: a cached result
+        is only reusable by the *same* code that produced it, so refactors
+        that change behaviour or the metric schema can never serve stale
+        documents from an old cache directory.
+        """
+        return hashlib.sha256(
+            (_cache_version_tag() + spec.to_json()).encode("utf-8")
+        ).hexdigest()
+
+    def path(self, spec: ScenarioSpec) -> Optional[Path]:
+        """The entry path for ``spec``, or ``None`` without a directory."""
+        if self.directory is None:
+            return None
+        return self.directory / f"{self.key(spec)}.json"
+
+    def load(self, spec: ScenarioSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or ``None`` on a miss.
+
+        A cache entry that cannot be parsed back into a :class:`RunResult`
+        — a file torn by a crash mid-write under the old non-atomic writer,
+        or truncated by a full disk — is treated as a miss (the entry is
+        re-run and atomically overwritten), never as an error: a shared
+        cache directory must not be able to poison later runs.
+        """
+        path = self.path(spec)
+        if path is None or not path.exists():
+            return None
+        try:
+            return RunResult.from_json(path.read_text())
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def load_key(self, key: str) -> Optional[Dict[str, Any]]:
+        """The raw result document stored under ``key``, or ``None``.
+
+        The service's ``cache-get`` op answers from here without touching
+        the worker pool; the same torn-entry-is-a-miss contract applies.
+        """
+        if self.directory is None:
+            return None
+        try:
+            payload = (self.directory / f"{key}.json").read_text()
+            return RunResult.from_json(payload).to_dict()
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, spec: ScenarioSpec, output: str) -> None:
+        """Atomically publish ``output`` as the cache entry for ``spec``.
+
+        The document is written to a pid-suffixed ``.tmp`` sibling and
+        :func:`os.replace`-d into place, so concurrent writers sharing one
+        directory and interrupted runs can never leave a torn entry under
+        the final name — readers see the old state or the whole new
+        document, nothing in between.
+        """
+        path = self.path(spec)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(output)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+
+
+def blob_descriptors(spec: ScenarioSpec, plan: Any) -> List[Tuple]:
+    """``(key, prefix spec dict, barrier_s, membership_log)`` per blob.
+
+    An unsharded cell has one blob; a sharded cell has one per region
+    (the prefix spec shards into regions that align one-to-one with the
+    real spec's — canonicalization never touches populations or the
+    topology).
+    """
+    if spec.shards is None:
+        return [(plan.checkpoint_key(), plan.spec.to_dict(), plan.barrier_s, False)]
+    from .shard import plan_shards
+    from .warmstart import PrefixPlan
+
+    return [
+        (
+            PrefixPlan(plan.barrier_s, region.spec).checkpoint_key(),
+            region.spec.to_dict(),
+            plan.barrier_s,
+            True,
+        )
+        for region in plan_shards(plan.spec).regions
+    ]
+
+
+@dataclass
+class CellPlan:
+    """The executable shape of one grid cell: jobs in, one result out.
+
+    ``setup_jobs`` build missing prefix-checkpoint blobs and must finish
+    before ``jobs`` start; ``jobs`` are the cell's main work (one spec/warm
+    job, or one region job per shard).  :meth:`merge` folds the main jobs'
+    outputs into the cell's :class:`RunResult` — for a sharded cell that is
+    the deterministic region merge, otherwise the single output parsed.
+    Shared by the batch runner's durable-cache path and the service daemon,
+    so both produce byte-identical results by construction.
+    """
+
+    spec: ScenarioSpec
+    setup_jobs: List[Tuple[str, str]] = field(default_factory=list)
+    jobs: List[Tuple[str, str]] = field(default_factory=list)
+    shard_plan: Optional[Any] = None
+    warm: bool = False
+    checkpoint_hits: int = 0
+    checkpoint_misses: int = 0
+
+    def merge(self, outputs: Sequence[str]) -> RunResult:
+        """Fold the main jobs' outputs into this cell's result."""
+        if self.shard_plan is None:
+            return RunResult.from_json(outputs[0])
+        from .shard import merge_region_results
+
+        documents = [json.loads(output) for output in outputs]
+        return merge_region_results(self.shard_plan, documents)
+
+
+def plan_cell(
+    spec: ScenarioSpec,
+    checkpoint_dir: Optional[Path] = None,
+    warm_start: bool = True,
+) -> CellPlan:
+    """Plan the jobs realising one cell, warm-starting when durably stored.
+
+    Mirrors the batch runner's policy for a lone cell with a durable cache
+    directory: when the spec has a plannable prefix and ``checkpoint_dir``
+    is durable, the cell resumes from the shared ``ck_*.pkl`` blob store —
+    publishing the blob on a miss so every later cell (from any client)
+    sweeping the same prefix reuses it.  Without a directory, or for specs
+    with no shareable prefix, the cell runs cold.  Sharded specs expand into
+    one region job per shard either way.
+    """
+    from .warmstart import checkpoint_payload, plan_prefix, warm_payload
+
+    prefix_plan = plan_prefix(spec) if warm_start and checkpoint_dir else None
+    plan = CellPlan(spec=spec, warm=prefix_plan is not None)
+    descriptors: List[Tuple] = []
+    if prefix_plan is not None:
+        from .warmstart import CheckpointStore
+
+        store = CheckpointStore(Path(checkpoint_dir))
+        descriptors = blob_descriptors(spec, prefix_plan)
+        for key, prefix_dict, barrier_s, membership_log in descriptors:
+            if store.exists(key):
+                plan.checkpoint_hits += 1
+                continue
+            plan.checkpoint_misses += 1
+            plan.setup_jobs.append(
+                (
+                    "checkpoint",
+                    checkpoint_payload(
+                        key, prefix_dict, barrier_s, str(checkpoint_dir),
+                        membership_log=membership_log,
+                    ),
+                )
+            )
+    if spec.shards is not None:
+        from .shard import plan_shards, region_payloads
+
+        plan.shard_plan = plan_shards(spec)
+        payloads = region_payloads(plan.shard_plan)
+        if plan.warm:
+            payloads = _attach_warm_blocks(payloads, descriptors, str(checkpoint_dir))
+        plan.jobs = [("region", payload) for payload in payloads]
+    elif plan.warm:
+        key, prefix_dict, barrier_s, _membership_log = descriptors[0]
+        plan.jobs = [
+            (
+                "warm",
+                warm_payload(
+                    spec.to_dict(), prefix_dict, barrier_s, str(checkpoint_dir), key
+                ),
+            )
+        ]
+    else:
+        plan.jobs = [("spec", spec.to_json())]
+    return plan
+
+
+# ----------------------------------------------------------------------
 # the runner
 # ----------------------------------------------------------------------
 class ExperimentRunner:
@@ -359,6 +726,11 @@ class ExperimentRunner:
     ``verify_warm_start`` re-runs one cell per prefix group cold and raises
     on any byte divergence — the runtime spot-check behind the CLI's
     ``--verify-warm-start``.
+
+    Execution rides a :class:`JobExecutor`: a worker that dies mid-job is
+    retried on a fresh pool up to ``retries`` times before the batch fails
+    with an actionable :class:`ExperimentExecutionError` (instead of the
+    historical raw :class:`BrokenProcessPool` losing the whole grid).
     """
 
     def __init__(
@@ -367,13 +739,16 @@ class ExperimentRunner:
         cache_dir: Optional[Path] = None,
         warm_start: bool = True,
         verify_warm_start: bool = False,
+        retries: int = 2,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._cache = ResultCache(self.cache_dir)
         self.warm_start = warm_start
         self.verify_warm_start = verify_warm_start
+        self.retries = retries
         self.cache_hits = 0
         self.cache_misses = 0
         #: Prefix checkpoints found already published when a batch planned
@@ -403,64 +778,16 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     @staticmethod
     def cache_key(spec: ScenarioSpec) -> str:
-        """SHA-256 over a version tag plus the spec's canonical JSON.
-
-        Sound only because runs are byte-deterministic per spec (see
-        ``docs/determinism.md``).  The package version and
-        :data:`CACHE_SCHEMA_VERSION` are mixed into the key: a cached result
-        is only reusable by the *same* code that produced it, so refactors
-        that change behaviour or the metric schema can never serve stale
-        documents from an old cache directory.
-        """
-        return hashlib.sha256(
-            (_cache_version_tag() + spec.to_json()).encode("utf-8")
-        ).hexdigest()
-
-    def _cache_path(self, spec: ScenarioSpec) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{self.cache_key(spec)}.json"
+        """SHA-256 cache key of ``spec`` (see :meth:`ResultCache.key`)."""
+        return ResultCache.key(spec)
 
     def _read_cached(self, spec: ScenarioSpec) -> Optional[RunResult]:
-        """The cached result for ``spec``, or ``None`` on a miss.
-
-        A cache entry that cannot be parsed back into a :class:`RunResult`
-        — a file torn by a crash mid-write under the old non-atomic writer,
-        or truncated by a full disk — is treated as a miss (the entry is
-        re-run and atomically overwritten), never as an error: a shared
-        ``cache_dir`` must not be able to poison later runs.
-        """
-        path = self._cache_path(spec)
-        if path is None or not path.exists():
-            return None
-        try:
-            return RunResult.from_json(path.read_text())
-        except (OSError, ValueError, KeyError, TypeError):
-            return None
+        """The cached result for ``spec``, or ``None`` (see :class:`ResultCache`)."""
+        return self._cache.load(spec)
 
     def _write_cache(self, spec: ScenarioSpec, output: str) -> None:
-        """Atomically publish ``output`` as the cache entry for ``spec``.
-
-        The document is written to a pid-suffixed ``.tmp`` sibling and
-        :func:`os.replace`-d into place, so concurrent runners sharing one
-        ``cache_dir`` and interrupted runs can never leave a torn entry
-        under the final name — readers see the old state or the whole new
-        document, nothing in between.
-        """
-        path = self._cache_path(spec)
-        if path is None:
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        try:
-            tmp.write_text(output)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
-            raise
+        """Atomically publish ``output`` for ``spec`` (see :class:`ResultCache`)."""
+        self._cache.store(spec, output)
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[ScenarioSpec]) -> List[RunResult]:
@@ -519,7 +846,7 @@ class ExperimentRunner:
         phase1: List[Tuple[str, str]] = []
         if not self.warm_start:
             return plans, warm_cells, descriptors, phase1
-        from .warmstart import CheckpointStore, plan_prefix
+        from .warmstart import CheckpointStore, checkpoint_payload, plan_prefix
 
         groups: Dict[str, List[int]] = {}
         for index in pending:
@@ -533,7 +860,7 @@ class ExperimentRunner:
         store = CheckpointStore(self._checkpoint_dir())
         planned_keys: Set[str] = set()
         for members in groups.values():
-            blobs = self._blob_descriptors(specs[members[0]], plans[members[0]])
+            blobs = blob_descriptors(specs[members[0]], plans[members[0]])
             published = all(store.exists(key) for key, *_ in blobs)
             if len(members) < 2 and not published and self.cache_dir is None:
                 continue
@@ -551,43 +878,16 @@ class ExperimentRunner:
                 phase1.append(
                     (
                         "checkpoint",
-                        json.dumps(
-                            {
-                                "prefix": prefix_dict,
-                                "barrier_s": barrier_s,
-                                "dir": str(store.directory),
-                                "key": key,
-                                "membership_log": membership_log,
-                            },
-                            sort_keys=True,
-                            separators=(",", ":"),
+                        checkpoint_payload(
+                            key,
+                            prefix_dict,
+                            barrier_s,
+                            str(store.directory),
+                            membership_log=membership_log,
                         ),
                     )
                 )
         return plans, warm_cells, descriptors, phase1
-
-    def _blob_descriptors(self, spec: ScenarioSpec, plan: Any) -> List[Tuple]:
-        """``(key, prefix spec dict, barrier_s, membership_log)`` per blob.
-
-        An unsharded cell has one blob; a sharded cell has one per region
-        (the prefix spec shards into regions that align one-to-one with the
-        real spec's — canonicalization never touches populations or the
-        topology).
-        """
-        if spec.shards is None:
-            return [(plan.checkpoint_key(), plan.spec.to_dict(), plan.barrier_s, False)]
-        from .shard import plan_shards
-        from .warmstart import PrefixPlan
-
-        return [
-            (
-                PrefixPlan(plan.barrier_s, region.spec).checkpoint_key(),
-                region.spec.to_dict(),
-                plan.barrier_s,
-                True,
-            )
-            for region in plan_shards(plan.spec).regions
-        ]
 
     def _execute_pending(
         self,
@@ -630,22 +930,20 @@ class ExperimentRunner:
                     verify_segments[index] = (plan, len(jobs), len(cold))
                     jobs.extend(("region", payload) for payload in cold)
             elif warm:
+                from .warmstart import warm_payload
+
                 prefix_plan = plans[index]
                 segments.append((index, None, len(jobs), 1))
                 jobs.append(
                     (
                         "warm",
-                        json.dumps(
-                            {
-                                "spec": spec.to_dict(),
-                                "prefix": prefix_plan.spec.to_dict(),
-                                "barrier_s": prefix_plan.barrier_s,
-                                "dir": checkpoint_dir,
-                                "key": prefix_plan.checkpoint_key(),
-                                "verify": warm_cells[index],
-                            },
-                            sort_keys=True,
-                            separators=(",", ":"),
+                        warm_payload(
+                            spec.to_dict(),
+                            prefix_plan.spec.to_dict(),
+                            prefix_plan.barrier_s,
+                            checkpoint_dir,
+                            prefix_plan.checkpoint_key(),
+                            verify=warm_cells[index],
                         ),
                     )
                 )
@@ -653,19 +951,11 @@ class ExperimentRunner:
                 segments.append((index, None, len(jobs), 1))
                 jobs.append(("spec", spec.to_json()))
 
-        if self.jobs > 1 and len(phase1) + len(jobs) > 1:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                if phase1:
-                    checkpoint_started = time.perf_counter()
-                    list(pool.map(run_job, phase1))
-                    self.checkpoint_wall_s += time.perf_counter() - checkpoint_started
-                outputs = list(pool.map(run_job, jobs))
-        else:
+        with JobExecutor(jobs=self.jobs, retries=self.retries) as executor:
             checkpoint_started = time.perf_counter()
-            for job in phase1:
-                run_job(job)
+            executor.run_all(phase1)
             self.checkpoint_wall_s += time.perf_counter() - checkpoint_started
-            outputs = [run_job(job) for job in jobs]
+            outputs = executor.run_all(jobs)
 
         for index, plan, offset, count in segments:
             if plan is None:

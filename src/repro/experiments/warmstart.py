@@ -56,8 +56,10 @@ __all__ = [
     "PrefixPlan",
     "plan_prefix",
     "CheckpointStore",
+    "checkpoint_payload",
     "run_checkpoint_json",
     "run_warm_json",
+    "warm_payload",
 ]
 
 #: Placeholder name for every canonical prefix spec — the scenario name
@@ -260,6 +262,61 @@ def _ensure_checkpoint(
     scenario = _build_prefix(prefix, barrier_s, membership_log)
     store.save(key, scenario)
     return scenario, False
+
+
+# ----------------------------------------------------------------------
+# worker payloads
+# ----------------------------------------------------------------------
+def checkpoint_payload(
+    key: str,
+    prefix_dict: Dict[str, Any],
+    barrier_s: float,
+    directory: str,
+    membership_log: bool = False,
+) -> str:
+    """The canonical ``("checkpoint", …)`` job payload building one blob.
+
+    One builder shared by the batch runner and the service daemon, so both
+    schedule byte-identical jobs onto :func:`run_checkpoint_json`.
+    """
+    return json.dumps(
+        {
+            "prefix": prefix_dict,
+            "barrier_s": barrier_s,
+            "dir": directory,
+            "key": key,
+            "membership_log": membership_log,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def warm_payload(
+    spec_dict: Dict[str, Any],
+    prefix_dict: Dict[str, Any],
+    barrier_s: float,
+    directory: str,
+    key: str,
+    verify: bool = False,
+) -> str:
+    """The canonical ``("warm", …)`` job payload resuming one cell.
+
+    One builder shared by the batch runner and the service daemon, so both
+    schedule byte-identical jobs onto :func:`run_warm_json`.
+    """
+    return json.dumps(
+        {
+            "spec": spec_dict,
+            "prefix": prefix_dict,
+            "barrier_s": barrier_s,
+            "dir": directory,
+            "key": key,
+            "verify": verify,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
 
 
 # ----------------------------------------------------------------------

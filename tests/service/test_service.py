@@ -1,0 +1,292 @@
+"""End-to-end daemon behaviour: handshake, streaming, caching, CLI surface.
+
+Runs a real ``python -m repro serve`` subprocess on a Unix socket and
+drives it with the blocking :class:`~repro.service.ServiceClient` (the same
+path the ``submit``/``status`` subcommands use), plus raw protocol
+conversations for the error-handling contract: a malformed line or unknown
+op answers in-band and never kills the connection's other work.
+"""
+
+import asyncio
+import hashlib
+import json
+import subprocess
+import sys
+
+import pytest
+
+from _util import AsyncConn, daemon_env
+
+from repro.experiments import (
+    PAPER_DEFAULTS,
+    ResultCache,
+    ScenarioSpec,
+    SessionDecl,
+    execute_spec,
+    plan_prefix,
+    scenario_spec,
+)
+from repro.service import PROTOCOL_VERSION, ServiceError
+from repro.service.jobs import (
+    ExperimentScheduler,
+    QueueFullError,
+    ServiceDrainingError,
+)
+from repro.service.pool import AsyncJobPool
+
+
+def fast_spec(seed: int = 0) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="service-fast",
+        protected=False,
+        sessions=(SessionDecl("mc"),),
+        duration_s=6.0,
+        config=PAPER_DEFAULTS.with_duration(6.0).with_seed(seed),
+    )
+
+
+class TestEndToEnd:
+    def test_hello_handshake(self, daemon):
+        with daemon().client() as client:
+            assert client.hello["protocol"] == PROTOCOL_VERSION
+            assert isinstance(client.hello["version"], str)
+
+    def test_submit_streams_results_in_seed_order(self, daemon):
+        handle = daemon(jobs=2)
+        events = []
+        with handle.client() as client:
+            results = client.run(fast_spec(), seeds=[0, 1], on_event=events.append)
+        assert [e["event"] for e in events] == ["accepted", "result", "result", "done"]
+        assert events[0]["cells"] == 2
+        assert [e["seed"] for e in events[1:3]] == [0, 1]
+        assert events[3] == {
+            "event": "done",
+            "id": events[3]["id"],
+            "completed": 2,
+            "failed": 0,
+            "cached": 0,
+        }
+        for seed, result in zip((0, 1), results):
+            assert result.to_json() == execute_spec(fast_spec(seed)).to_json()
+
+    def test_result_events_carry_batch_cache_keys(self, daemon):
+        handle = daemon()
+        with handle.client() as client:
+            events = list(client.stream(fast_spec(), seeds=[0]))
+        result = next(e for e in events if e["event"] == "result")
+        key = ResultCache.key(fast_spec(0))
+        assert result["key"] == key
+        assert (handle.cache_dir / f"{key}.json").exists()
+
+    def test_resubmission_is_served_from_cache(self, daemon):
+        handle = daemon()
+        with handle.client() as client:
+            client.run(fast_spec(), seeds=[0, 1])
+        with handle.client() as client:
+            events = list(client.stream(fast_spec(), seeds=[0, 1]))
+            status = client.status()
+        assert all(
+            e["cached"] for e in events if e["event"] == "result"
+        )
+        # Cache hits are answered without touching the worker pool.
+        assert status["pool"]["completed"] == 2
+        assert status["scheduler"]["cache_hits"] == 2
+        assert status["scheduler"]["cache_hit_rate"] == pytest.approx(0.5)
+
+    def test_cache_get_round_trip_and_miss(self, daemon):
+        handle = daemon()
+        spec = fast_spec()
+        with handle.client() as client:
+            (result,) = client.run(spec, seeds=[0])
+            assert client.cache_get(ResultCache.key(spec)) == result.to_dict()
+            assert client.cache_get("0" * 64) is None
+
+    def test_warm_start_blob_is_served_from_shared_store(self, daemon):
+        spec = scenario_spec(
+            "attack-flapping", attack_start_s=6.0, duration_s=18.0
+        )
+        plan = plan_prefix(spec)
+        assert plan is not None
+        handle = daemon()
+        with handle.client() as client:
+            events = list(client.stream(spec))
+            result = next(e for e in events if e["event"] == "result")
+            assert result["warm"] is True
+            stat = client.blob_stat(plan.checkpoint_key())
+        assert stat["exists"] is True
+        assert stat["size"] > 0
+
+    def test_status_document_shape(self, daemon):
+        with daemon(jobs=2).client() as client:
+            status = client.status()
+        assert status["protocol"] == PROTOCOL_VERSION
+        assert status["uptime_s"] >= 0
+        assert status["connections"] == 1
+        assert status["pool"]["workers"] == 2
+        assert status["scheduler"]["draining"] is False
+        assert status["scheduler"]["max_queue"] == 256
+
+    def test_shutdown_op_drains_and_exits(self, daemon):
+        handle = daemon()
+        with handle.client() as client:
+            bye = client.shutdown()
+        assert bye["draining"] is True
+        assert handle.wait() == 0
+        assert not handle.socket.exists()
+
+
+class TestProtocolErrorHandling:
+    def _converse(self, handle, scenario):
+        async def run():
+            conn = await AsyncConn.open(handle.socket)
+            try:
+                return await scenario(conn)
+            finally:
+                conn.close()
+
+        return asyncio.run(run())
+
+    def test_malformed_line_answers_error_and_connection_survives(self, daemon):
+        handle = daemon()
+
+        async def scenario(conn):
+            conn.writer.write(b"this is not json\n")
+            await conn.writer.drain()
+            error = await conn.recv()
+            await conn.send({"op": "status", "id": "s1"})
+            status = await conn.recv()
+            return error, status
+
+        error, status = self._converse(handle, scenario)
+        assert error["event"] == "error"
+        assert "undecodable" in error["message"]
+        assert status["event"] == "status"
+
+    def test_unknown_op_answers_error(self, daemon):
+        async def scenario(conn):
+            await conn.send({"op": "frobnicate", "id": "x"})
+            return await conn.recv()
+
+        event = self._converse(daemon(), scenario)
+        assert event["event"] == "error"
+        assert "unknown op 'frobnicate'" in event["message"]
+
+    def test_invalid_spec_is_rejected(self, daemon):
+        async def scenario(conn):
+            await conn.send({"op": "submit", "id": "x", "spec": {"bogus": 1}})
+            return await conn.recv()
+
+        event = self._converse(daemon(), scenario)
+        assert event["event"] == "rejected"
+        assert "invalid spec" in event["reason"]
+
+    def test_non_integer_seeds_are_rejected(self, daemon):
+        async def scenario(conn):
+            await conn.send(
+                {
+                    "op": "submit",
+                    "id": "x",
+                    "spec": fast_spec().to_dict(),
+                    "seeds": [0, "one"],
+                }
+            )
+            return await conn.recv()
+
+        event = self._converse(daemon(), scenario)
+        assert event["event"] == "rejected"
+        assert "seeds" in event["reason"]
+
+
+class TestSchedulerAdmission:
+    def _scheduler(self, tmp_path, max_queue=2):
+        return ExperimentScheduler(
+            pool=AsyncJobPool(jobs=1),
+            cache=ResultCache(tmp_path),
+            checkpoint_dir=tmp_path,
+            max_queue=max_queue,
+        )
+
+    def test_queue_bound_is_enforced(self, tmp_path):
+        scheduler = self._scheduler(tmp_path, max_queue=2)
+        scheduler.admit(2)
+        with pytest.raises(QueueFullError, match="queue bound"):
+            scheduler.admit(1)
+        scheduler.release(1)
+        scheduler.admit(1)
+
+    def test_draining_rejects_admission(self, tmp_path):
+        scheduler = self._scheduler(tmp_path)
+        scheduler.draining = True
+        with pytest.raises(ServiceDrainingError, match="draining"):
+            scheduler.admit(1)
+
+    def test_release_never_goes_negative(self, tmp_path):
+        scheduler = self._scheduler(tmp_path)
+        scheduler.release(5)
+        assert scheduler.queued == 0
+
+    def test_queue_full_submission_is_rejected_in_band(self, daemon):
+        handle = daemon(extra_args=("--max-queue", "1"))
+        with handle.client() as client:
+            with pytest.raises(ServiceError, match="queue bound"):
+                list(client.stream(fast_spec(), seeds=[0, 1]))
+            # A submission that fits still goes through afterwards.
+            (result,) = client.run(fast_spec(), seeds=[0])
+            assert result.seed == 0
+
+
+class TestCli:
+    def _cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=daemon_env(),
+        )
+
+    def test_submit_prints_table_and_digest(self, daemon):
+        handle = daemon()
+        proc = self._cli(
+            "submit",
+            "figure8-throughput",
+            "--socket",
+            str(handle.socket),
+            "--seeds",
+            "1",
+            "--duration",
+            "8",
+            "--digest",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "daemon answered 1 cell(s)" in proc.stdout
+        assert "metrics_sha256 seed=0:" in proc.stdout
+        spec = scenario_spec("figure8-throughput", duration_s=8.0)
+        metrics = execute_spec(spec).metrics
+        digest = hashlib.sha256(
+            json.dumps(metrics, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
+        assert digest in proc.stdout
+
+    def test_status_prints_json_snapshot(self, daemon):
+        handle = daemon()
+        proc = self._cli("status", "--socket", str(handle.socket))
+        assert proc.returncode == 0, proc.stderr
+        document = json.loads(proc.stdout)
+        assert document["protocol"] == PROTOCOL_VERSION
+        assert "scheduler" in document and "pool" in document
+
+    def test_serve_requires_an_endpoint(self, tmp_path):
+        proc = self._cli("serve", "--cache-dir", str(tmp_path))
+        assert proc.returncode == 2
+        assert "--socket" in proc.stderr
+
+    def test_submit_to_missing_daemon_exits_2(self, tmp_path):
+        proc = self._cli(
+            "submit",
+            "figure8-throughput",
+            "--socket",
+            str(tmp_path / "nope.sock"),
+        )
+        assert proc.returncode == 2
+        assert "cannot reach the daemon" in proc.stderr

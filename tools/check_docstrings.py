@@ -56,6 +56,11 @@ SCOPED: Tuple[str, ...] = (
     "multicast_cc/population.py",
     "multicast_cc/vector.py",
     "adversary/vector.py",
+    "service/protocol.py",
+    "service/pool.py",
+    "service/jobs.py",
+    "service/server.py",
+    "service/client.py",
 )
 
 
